@@ -1,0 +1,53 @@
+"""Fig. 5: ExaMon heatmaps during a full-machine HPL run.
+
+Instructions/s, network traffic and memory usage per node — the cluster
+simulation runs once per session (see conftest), the checks below assert
+the figure's qualitative content.
+"""
+
+import pytest
+
+
+def test_fig5_instruction_rates_ghz_scale(benchmark, fig5_results):
+    instructions, _network, _memory = fig5_results
+
+    def node_means():
+        return {host: instructions.node_mean(host)
+                for host in instructions.rows}
+
+    means = benchmark(node_means)
+    assert len(means) == 8
+    # 4 cores × ~1.4 Ginstr/s under HPL.
+    for host, mean in means.items():
+        assert 2e9 < mean < 12e9, host
+
+
+def test_fig5_communication_dips_visible(benchmark, fig5_results):
+    """The paper: 'we can identify the communication patterns,
+    corresponding to a lower instruction count'."""
+    instructions, _network, _memory = fig5_results
+    row = [v for v in instructions.rows["mc-node-1"] if v is not None]
+    spread = (max(row) - min(row)) / max(row)
+    benchmark(lambda: spread)
+    assert spread > 0.01  # visible modulation across buckets
+
+
+def test_fig5_network_traffic_bursts(benchmark, fig5_results):
+    _instructions, network, _memory = fig5_results
+    means = benchmark(lambda: {h: network.node_mean(h) for h in network.rows})
+    for host, mean in means.items():
+        assert mean > 1e6, host  # MB/s-scale MPI traffic on every node
+
+
+def test_fig5_memory_usage_shows_hpl_matrix(benchmark, fig5_results):
+    _instructions, _network, memory = fig5_results
+    means = benchmark(lambda: {h: memory.node_mean(h) for h in memory.rows})
+    for host, used in means.items():
+        # The HPL allocation (~83% of 16 GB) dominates the sampled window.
+        assert used > 8 * 1024 ** 3, host
+
+
+def test_fig5_ascii_rendering(benchmark, fig5_results):
+    instructions, _network, _memory = fig5_results
+    text = benchmark(instructions.render_ascii)
+    assert text.count("mc-node-") == 8

@@ -1,0 +1,33 @@
+"""§III: the Infiniband FDR bring-up status snapshot."""
+
+import pytest
+
+from repro.analysis.experiments import infiniband_status
+from repro.hardware.nic import RDMAUnsupportedError
+from repro.network.infiniband import InfinibandFabric
+
+
+def test_infiniband_paper_snapshot(benchmark):
+    status = benchmark(infiniband_status)
+    assert status.device_recognised
+    assert status.driver_loaded
+    assert status.ofed_mounted
+    assert status.board_to_board_ping
+    assert status.board_to_server_ping
+    assert not status.rdma_functional
+
+
+def test_infiniband_rdma_error_message_cites_future_work(benchmark):
+    fabric = InfinibandFabric()
+    fabric.bring_up()
+    boards = list(fabric.hcas.values())
+
+    def try_rdma():
+        try:
+            boards[0].rdma_write(boards[1], 4096)
+        except RDMAUnsupportedError as exc:
+            return str(exc)
+        return ""
+
+    message = benchmark(try_rdma)
+    assert "future work" in message

@@ -1,0 +1,48 @@
+"""Monitoring-overhead bench: the cost of the ExaMon deployment.
+
+The paper's ODA framing requires monitoring to be lightweight.  This
+bench measures the transport load of the §IV-B configuration (pmu_pub at
+2 Hz × 4 cores × 8 events, stats_pub at 0.2 Hz × 28 metrics, per node)
+and asserts the derived rates.
+"""
+
+import pytest
+
+from repro.cluster.cluster import MonteCimoneCluster
+from repro.examon.deployment import ExamonDeployment
+from repro.thermal.enclosure import EnclosureConfig
+
+
+@pytest.fixture(scope="module")
+def monitored_minute():
+    cluster = MonteCimoneCluster(enclosure_config=EnclosureConfig.mitigated())
+    cluster.boot_all()
+    deployment = ExamonDeployment(cluster)
+    deployment.start()
+    cluster.run_for(60.0)
+    return deployment
+
+
+def test_message_rate_matches_configuration(benchmark, monitored_minute):
+    deployment = benchmark(lambda: monitored_minute)
+    overhead = deployment.monitoring_overhead_summary()
+    # Per node per second: pmu 2 Hz × 4 cores × 8 events = 64 msgs,
+    # stats 0.2 Hz × 28 metrics = 5.6 msgs → ~69.6; × 8 nodes × 60 s.
+    expected = 8 * 60 * (2 * 4 * 8 + 0.2 * 28)
+    assert overhead["messages_published"] == pytest.approx(expected, rel=0.05)
+
+
+def test_bandwidth_is_negligible(benchmark, monitored_minute):
+    """The whole cluster's telemetry is well under 1% of one GbE link."""
+    deployment = benchmark(lambda: monitored_minute)
+    overhead = deployment.monitoring_overhead_summary()
+    bytes_per_s = overhead["bytes_published"] / 60.0
+    assert bytes_per_s < 0.01 * 125e6
+
+
+def test_storage_ingest_keeps_up(benchmark, monitored_minute):
+    deployment = benchmark(lambda: monitored_minute)
+    overhead = deployment.monitoring_overhead_summary()
+    # Lossless pipeline: every published message is stored.
+    assert overhead["points_stored"] == overhead["messages_published"]
+    assert deployment.db.decode_errors == 0

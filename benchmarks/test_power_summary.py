@@ -1,0 +1,44 @@
+"""§I/§VI headline power numbers: 4.81 W idle / 5.935 W loaded + shares."""
+
+import pytest
+
+from repro.power.model import (
+    HPL_PROFILE,
+    IDLE_PROFILE,
+    NodePhase,
+    RailPowerModel,
+)
+
+
+def test_power_summary_idle(benchmark):
+    model = RailPowerModel()
+    total = benchmark(model.total_w, NodePhase.R3_OS, IDLE_PROFILE)
+    assert total == pytest.approx(4.810, abs=0.02)
+
+
+def test_power_summary_loaded(benchmark):
+    model = RailPowerModel()
+    total = benchmark(model.total_w, NodePhase.R3_OS, HPL_PROFILE)
+    assert total == pytest.approx(5.935, abs=0.03)
+
+
+def test_power_summary_shares(benchmark):
+    """§I: idle = 64% core, 13% DDR, 23% PCI."""
+    model = RailPowerModel()
+    rails = benchmark(model.rail_powers_mw, NodePhase.R3_OS, IDLE_PROFILE)
+    total = sum(rails.values())
+    core = rails["core"] / total
+    ddr = (rails["ddr_soc"] + rails["ddr_mem"] + rails["ddr_pll"]
+           + rails["ddr_vpp"]) / total
+    pci = (rails["pcievp"] + rails["pcievph"]) / total
+    assert core == pytest.approx(0.64, abs=0.01)
+    assert ddr == pytest.approx(0.13, abs=0.01)
+    assert pci == pytest.approx(0.23, abs=0.015)
+
+
+def test_power_summary_hpl_core_share_69_percent(benchmark):
+    """§I: under HPL, 69% core, 14% DDR-ish, 18% PCI."""
+    model = RailPowerModel()
+    rails = benchmark(model.rail_powers_mw, NodePhase.R3_OS, HPL_PROFILE)
+    total = sum(rails.values())
+    assert rails["core"] / total == pytest.approx(0.69, abs=0.01)

@@ -1,0 +1,29 @@
+"""§V-A QuantumESPRESSO LAX: 1.44 ± 0.05 GFLOP/s over 37.40 s on 512²."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.kernels import blocked_jacobi_eigh
+from repro.benchmarks.qe_lax import QELaxConfig, QELaxModel
+
+
+def test_qe_lax_model(benchmark):
+    result = benchmark(QELaxModel().run, QELaxConfig(n=512))
+    assert result.throughput.mean == pytest.approx(1.44, abs=0.05)
+    assert result.runtime_s.mean == pytest.approx(37.40, abs=0.4)
+    assert result.efficiency == pytest.approx(0.36)
+
+
+def test_qe_lax_efficiency_between_stream_and_hpl(benchmark):
+    result = benchmark(QELaxModel().run)
+    assert 0.155 < result.efficiency < 0.465
+
+
+def test_lax_kernel_diagonalisation(benchmark):
+    """Time the real blocked-Jacobi kernel on a small LAX-style matrix."""
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(48, 48))
+    a = (a + a.T) / 2
+
+    values, _vectors = benchmark(blocked_jacobi_eigh, a)
+    assert np.allclose(values, np.linalg.eigvalsh(a), atol=1e-8)

@@ -1,0 +1,33 @@
+"""Table II: ExaMon topic and payload formats."""
+
+from repro.analysis.experiments import table2_topics
+from repro.examon.payload import decode_payload, encode_payload
+from repro.examon.topics import TopicSchema
+
+
+def test_table2_topic_formats(benchmark):
+    topics = benchmark(table2_topics)
+    assert topics["pmu_pub"] == (
+        "org/unibo/cluster/montecimone/node/mc-node-1/plugin/pmu_pub"
+        "/chnl/data/core/0/instructions")
+    assert topics["stats_pub"] == (
+        "org/unibo/cluster/montecimone/node/mc-node-1/plugin/dstat_pub"
+        "/chnl/data/load_avg.1m")
+
+
+def test_table2_payload_roundtrip(benchmark):
+    payload = benchmark(encode_payload, 1234.5, 1650000000.0)
+    assert payload == "1234.5;1650000000.0"
+    assert decode_payload(payload) == (1234.5, 1650000000.0)
+
+
+def test_topic_construction_throughput(benchmark):
+    """Topic building is on the 2 Hz × 8 nodes × 4 cores hot path."""
+    schema = TopicSchema()
+
+    def build_all():
+        return [schema.pmu_topic(f"mc-node-{n}", core, "cycles")
+                for n in range(1, 9) for core in range(4)]
+
+    topics = benchmark(build_all)
+    assert len(topics) == 32

@@ -1,0 +1,28 @@
+"""Table III: the stats_pub metric catalogue on a live node."""
+
+from repro.cluster.node import ComputeNode
+from repro.examon.broker import MQTTBroker
+from repro.examon.plugins.stats_pub import TABLE_III_METRICS, StatsPubPlugin
+
+
+def _booted_plugin():
+    node = ComputeNode(hostname="mc-node-1")
+    node.power_on(0.0)
+    node.start_bootloader(6.0)
+    node.finish_boot(21.0)
+    return StatsPubPlugin(node, MQTTBroker())
+
+
+def test_table3_every_metric_published(benchmark):
+    plugin = _booted_plugin()
+    metrics = benchmark(plugin.sample, 22.0)
+    published = {topic.rsplit("/data/", 1)[1] for topic in metrics}
+    expected = {metric for group in TABLE_III_METRICS.values()
+                for metric in group}
+    assert published == expected
+
+
+def test_table3_metric_count_is_28(benchmark):
+    expected = benchmark(
+        lambda: [m for group in TABLE_III_METRICS.values() for m in group])
+    assert len(expected) == 28

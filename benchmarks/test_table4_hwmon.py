@@ -1,0 +1,22 @@
+"""Table IV: hwmon sysfs temperature entries."""
+
+from repro.analysis.experiments import table4_hwmon
+from repro.hardware.sensors import HwmonTree
+
+
+def test_table4_paths(benchmark):
+    mapping = benchmark(table4_hwmon)
+    assert mapping == {
+        "nvme_temp": "/sys/class/hwmon/hwmon0/temp1_input",
+        "mb_temp": "/sys/class/hwmon/hwmon1/temp1_input",
+        "cpu_temp": "/sys/class/hwmon/hwmon1/temp2_input",
+    }
+
+
+def test_table4_sysfs_read_path(benchmark):
+    """Reading through the sysfs path returns kernel-format millidegrees."""
+    tree = HwmonTree()
+    tree.set_celsius("cpu_temp", 51.25)
+
+    raw = benchmark(tree.read, "/sys/class/hwmon/hwmon1/temp2_input")
+    assert raw == "51250\n"

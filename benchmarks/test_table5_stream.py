@@ -1,0 +1,31 @@
+"""Table V: STREAM with 4 threads, DDR-resident vs L2-resident."""
+
+import pytest
+
+from repro.analysis.paper import TABLE_V_DDR_MB_S, TABLE_V_L2_MB_S
+from repro.benchmarks.stream import StreamConfig, StreamModel
+
+
+def test_table5_both_columns(benchmark):
+    results = benchmark(StreamModel().table_v)
+    for kernel, expected in TABLE_V_DDR_MB_S.items():
+        assert results["STREAM.DDR"].kernel_mean(kernel) == \
+            pytest.approx(expected, rel=0.01)
+    for kernel, expected in TABLE_V_L2_MB_S.items():
+        assert results["STREAM.L2"].kernel_mean(kernel) == \
+            pytest.approx(expected, rel=0.01)
+
+
+def test_table5_ddr_ceiling_is_15_5_percent(benchmark):
+    result = benchmark(StreamModel().run, StreamConfig(array_mib=1945.5))
+    # §V-A: "no more than 15.5% of the available peak bandwidth".
+    assert result.best_fraction_of_peak == pytest.approx(0.155, abs=0.003)
+
+
+def test_table5_l2_vs_ddr_gap(benchmark):
+    """The L2-resident copy outruns the DDR-resident copy ~6×."""
+    model = StreamModel()
+    results = benchmark(model.table_v)
+    gap = (results["STREAM.L2"].kernel_mean("copy")
+           / results["STREAM.DDR"].kernel_mean("copy"))
+    assert gap == pytest.approx(7079 / 1206, rel=0.05)

@@ -1,0 +1,36 @@
+"""Table VI: per-rail power for every workload column plus boot R1/R2."""
+
+import pytest
+
+from repro.analysis.experiments import table6_power
+from repro.power.model import TABLE_VI_MILLIWATTS
+
+
+def test_table6_all_columns(benchmark):
+    table = benchmark(table6_power)
+    assert set(table) == set(TABLE_VI_MILLIWATTS)
+    for column, rails in table.items():
+        for rail, (measured, reference) in rails.items():
+            assert measured == pytest.approx(reference, abs=25.0), \
+                f"{column}/{rail}: {measured:.1f} vs {reference}"
+
+
+def test_table6_totals_within_one_percent(benchmark):
+    table = benchmark(table6_power)
+    for column, rails in table.items():
+        measured_total = sum(v[0] for v in rails.values())
+        paper_total = sum(v[1] for v in rails.values())
+        assert measured_total == pytest.approx(paper_total, rel=0.01), column
+
+
+def test_table6_workload_ordering(benchmark):
+    """HPL is the hungriest, idle the least; STREAM.DDR stresses ddr_mem."""
+    table = benchmark(table6_power)
+    totals = {column: sum(v[0] for v in rails.values())
+              for column, rails in table.items()
+              if not column.startswith("boot")}
+    assert max(totals, key=totals.get) == "hpl"
+    assert min(totals, key=totals.get) == "idle"
+    ddr_mem = {column: rails["ddr_mem"][0] for column, rails in table.items()
+               if not column.startswith("boot")}
+    assert max(ddr_mem, key=ddr_mem.get) == "stream_ddr"

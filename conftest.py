@@ -1,0 +1,14 @@
+"""Repository-root pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test-suite and benchmark harness run
+even when the package has not been pip-installed (the offline build
+environment lacks the ``wheel`` package PEP 660 editable installs need;
+``python setup.py develop`` works, and this shim covers the bare case).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Power characterisation walk-through (§V-B: Table VI, Fig. 3, Fig. 4).
+
+Reproduces the paper's power story on one simulated node: the per-rail
+Table VI under every workload, the 8-second benchmark traces, the boot
+trace with its R1/R2/R3 regions, and the leakage / clock-tree+dynamic /
+OS decomposition of core power.
+
+Run with::
+
+    python examples/power_characterization.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.tables import render_table
+from repro.power.boot import BootPowerModel
+from repro.power.model import (
+    HPL_PROFILE,
+    IDLE_PROFILE,
+    NodePhase,
+    QE_PROFILE,
+    RailPowerModel,
+    STREAM_DDR_PROFILE,
+    STREAM_L2_PROFILE,
+)
+from repro.power.traces import TraceSynthesizer
+
+
+def main() -> None:
+    model = RailPowerModel()
+    columns = {
+        "Idle": (NodePhase.R3_OS, IDLE_PROFILE),
+        "HPL": (NodePhase.R3_OS, HPL_PROFILE),
+        "STREAM.L2": (NodePhase.R3_OS, STREAM_L2_PROFILE),
+        "STREAM.DDR": (NodePhase.R3_OS, STREAM_DDR_PROFILE),
+        "QE": (NodePhase.R3_OS, QE_PROFILE),
+        "Boot R1": (NodePhase.R1_POWER_ON, IDLE_PROFILE),
+        "Boot R2": (NodePhase.R2_BOOTLOADER, IDLE_PROFILE),
+    }
+
+    print("== Table VI — per-rail power (mW) ==")
+    per_column = {name: model.rail_powers_mw(phase, profile)
+                  for name, (phase, profile) in columns.items()}
+    rails = list(next(iter(per_column.values())))
+    rows = [[rail] + [f"{per_column[c][rail]:.0f}" for c in columns]
+            for rail in rails]
+    rows.append(["Total"] + [f"{sum(per_column[c].values()):.0f}"
+                             for c in columns])
+    print(render_table(["line"] + list(columns), rows))
+
+    print("\n== Fig. 3 — 8 s benchmark traces (1 ms windows) ==")
+    synthesizer = TraceSynthesizer()
+    for workload in ("hpl", "stream_l2", "stream_ddr", "qe"):
+        trace = synthesizer.benchmark_trace(workload, "core")
+        print(f"  {workload:10s} core: mean {trace.mean_w():.3f} W  "
+              f"peak {trace.peak_w():.3f} W  σ {trace.std_w() * 1e3:.0f} mW")
+
+    print("\n== Fig. 4 — boot regions and core-power decomposition ==")
+    boot = BootPowerModel()
+    for region in ("R1", "R2"):
+        avg = boot.region_average_mw(region, "core") / 1e3
+        print(f"  {region}: core {avg:.3f} W")
+    print(f"  R3: core {boot.region_average_mw('R3', 'core', margin_s=16) / 1e3:.3f} W "
+          f"(settling toward the 3.075 W idle value)")
+    print("\n  decomposition of idle core power (paper: 32% / 51% / 17%):")
+    for component, fraction in boot.decomposition().items():
+        print(f"    {component:18s} {fraction * 100:5.1f}%")
+
+    print("\n== §VI item (ii): what clock throttling would buy ==")
+    for scale in (1.0, 0.85, 0.70, 0.55):
+        total = model.total_w(NodePhase.R3_OS, HPL_PROFILE,
+                              frequency_scale=scale) \
+            if hasattr(model, "total_w_scale") else sum(
+                model.rail_powers_mw(NodePhase.R3_OS, HPL_PROFILE,
+                                     frequency_scale=scale).values()) / 1e3
+        print(f"  f = {scale * 1.2:.2f} GHz: node power {total:.3f} W")
+
+
+if __name__ == "__main__":
+    main()

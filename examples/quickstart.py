@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: boot Monte Cimone, submit a job, read the machine.
+
+Builds the eight-node cluster in its post-mitigation enclosure, boots it,
+runs a four-node HPL job through the SLURM facade and prints what an
+operator would look at: sinfo, squeue, power and temperatures.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cluster.cluster import MonteCimoneCluster
+from repro.power.model import HPL_PROFILE
+from repro.slurm.api import SlurmAPI
+from repro.thermal.enclosure import EnclosureConfig
+
+
+def main() -> None:
+    print("== Monte Cimone quickstart ==")
+    cluster = MonteCimoneCluster(
+        enclosure_config=EnclosureConfig.mitigated())
+
+    print("booting 8 nodes (R1 -> R2 -> R3)...")
+    cluster.boot_all()
+    print(f"  simulated boot time: {cluster.engine.now:.0f} s")
+    print(f"  idle cluster power:  {cluster.total_power_w():.2f} W "
+          f"({cluster.total_power_w() / 8:.3f} W per node)")
+
+    api = SlurmAPI(cluster.slurm)
+    print("\n$ sinfo")
+    print(api.sinfo())
+
+    print("\nsubmitting: srun -N 4 hpl  (modelled 10-minute run)")
+    job_id = api.sbatch("hpl-quick", user="alice", nodes=4,
+                        duration_s=600.0, profile=HPL_PROFILE)
+    cluster.run_for(30.0)
+    print("\n$ squeue        (30 s into the run)")
+    print(api.squeue())
+    print(f"\n  cluster power under load: {cluster.total_power_w():.2f} W")
+
+    api.wait_all()
+    job = cluster.slurm.jobs[job_id]
+    print(f"\njob {job.job_id} finished: state={job.state.value} "
+          f"elapsed={job.elapsed_s:.0f} s on {','.join(job.allocated_nodes)}")
+
+    host, temperature = cluster.hottest_node()
+    print(f"hottest node after the run: {host} at {temperature:.1f} °C")
+    print("\n$ sinfo")
+    print(api.sinfo())
+
+
+if __name__ == "__main__":
+    main()

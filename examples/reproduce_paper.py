@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Runs the full experiment suite (Tables I-VI, Figures 2-6, the §V-A
+comparison and the §III Infiniband snapshot) and writes the
+paper-vs-measured report to EXPERIMENTS.md in the repository root.
+
+Run with::
+
+    python examples/reproduce_paper.py [output-path]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.report import generate_experiments_report
+
+
+def main() -> None:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(__file__).resolve().parents[1] / "EXPERIMENTS.md")
+    print("== Regenerating every table and figure ==")
+    print("(the Fig. 5/Fig. 6 cluster simulations take a minute)")
+    started = time.time()
+    report = generate_experiments_report(full_sim_duration_s=600.0)
+    elapsed = time.time() - started
+    output.write_text(report)
+    print(f"\nwrote {output} ({len(report)} chars) in {elapsed:.1f} s")
+    print("\n" + "\n".join(report.splitlines()[:40]))
+    print("...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The Fig. 6 thermal incident, replayed end to end (§V-C).
+
+Builds the cluster in its original enclosure (1U lids on, blades packed),
+starts HPL on all eight nodes, watches node 7 run away to the 107 °C trip
+and the job die with NODE_FAIL, then applies the paper's mitigation
+(lids off, vertical spacing), services the node and reruns to completion.
+
+Run with::
+
+    python examples/thermal_incident.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cluster.cluster import MonteCimoneCluster
+from repro.examon.deployment import ExamonDeployment
+from repro.power.model import HPL_PROFILE
+from repro.slurm.api import SlurmAPI
+from repro.thermal.enclosure import EnclosureConfig
+
+
+def temperatures_line(cluster: MonteCimoneCluster) -> str:
+    return "  ".join(f"{name.split('-')[-1]}:{node.cpu_temperature_c():5.1f}"
+                     for name, node in cluster.nodes.items())
+
+
+def main() -> None:
+    print("== Fig. 6: thermal runaway and mitigation ==")
+    cluster = MonteCimoneCluster(enclosure_config=EnclosureConfig.original())
+    cluster.boot_all()
+    deployment = ExamonDeployment(cluster)
+    deployment.start()
+    api = SlurmAPI(cluster.slurm)
+
+    print("\nfirst HPL run, original 1U enclosure (lids on):")
+    job_id = api.sbatch("hpl", "bench", nodes=8, duration_s=1800.0,
+                        profile=HPL_PROFILE)
+    start = cluster.engine.now
+    for minute in range(1, 31):
+        cluster.run_for(60.0)
+        if minute % 4 == 0 or cluster.watchdog.tripped_nodes():
+            print(f"  t={minute:3d} min  °C per node: "
+                  f"{temperatures_line(cluster)}")
+        if cluster.watchdog.tripped_nodes():
+            break
+
+    job = cluster.slurm.jobs[job_id]
+    api.wait_all()
+    print(f"\njob outcome: {job.state.value} ({job.exit_reason})")
+    for event in cluster.watchdog.events:
+        print(f"  watchdog: t={event.time_s:7.1f}s {event.node} "
+              f"{event.kind} at {event.temperature_c:.1f} °C")
+    peaks = deployment.dashboard.peak_temperatures(start, cluster.engine.now)
+    survivors = {h: t for h, t in peaks.items()
+                 if h not in cluster.watchdog.tripped_nodes()}
+    hot = max(survivors, key=survivors.get)
+    print(f"hottest surviving node: {hot} at {survivors[hot]:.1f} °C "
+          f"(paper: ~71 °C)")
+
+    print("\napplying mitigation: lids off, +1U blade spacing...")
+    cluster.apply_thermal_mitigation()
+    for hostname in cluster.watchdog.tripped_nodes():
+        print(f"servicing {hostname} (cooldown + reboot)...")
+        cluster.service_node(hostname)
+
+    print("\nsecond HPL run, mitigated enclosure:")
+    retry_start = cluster.engine.now
+    retry = api.srun("hpl-retry", "bench", nodes=8, duration_s=1800.0,
+                     profile=HPL_PROFILE)
+    retry_peaks = deployment.dashboard.peak_temperatures(
+        retry_start, cluster.engine.now)
+    hot = max(retry_peaks, key=retry_peaks.get)
+    print(f"job outcome: {retry.state.value}")
+    print(f"hottest node: {hot} at {retry_peaks[hot]:.1f} °C "
+          f"(paper: 39 °C after mitigation)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``report``      regenerate EXPERIMENTS.md (all tables and figures)
+``quickstart``  boot the cluster and run a short HPL job
+``scaling``     print the Fig. 2 strong-scaling table and ASCII plot
+``stack``       deploy the Table I software stack and list it
+``power``       print the Table VI power model and boot decomposition
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_experiments_report
+
+    text = generate_experiments_report(
+        full_sim_duration_s=args.sim_duration)
+    output = Path(args.output)
+    output.write_text(text)
+    print(f"wrote {output} ({len(text)} chars)")
+    return 0
+
+
+def _cmd_quickstart(_args: argparse.Namespace) -> int:
+    from repro.cluster.cluster import MonteCimoneCluster
+    from repro.power.model import HPL_PROFILE
+    from repro.slurm.api import SlurmAPI
+    from repro.thermal.enclosure import EnclosureConfig
+
+    cluster = MonteCimoneCluster(
+        enclosure_config=EnclosureConfig.mitigated())
+    cluster.boot_all()
+    api = SlurmAPI(cluster.slurm)
+    print(api.sinfo())
+    job = api.srun("hpl", "operator", nodes=8, duration_s=300.0,
+                   profile=HPL_PROFILE)
+    print(f"job {job.job_id}: {job.state.value}, "
+          f"power peak ~{8 * 5.935:.1f} W, "
+          f"hottest node {cluster.hottest_node()[0]} at "
+          f"{cluster.hottest_node()[1]:.1f} °C")
+    return 0
+
+
+def _cmd_scaling(_args: argparse.Namespace) -> int:
+    from repro.benchmarks.hpl import HPLModel
+    from repro.perf.plots import render_scaling_plot
+    from repro.perf.scaling import strong_scaling_table
+
+    points = strong_scaling_table(HPLModel())
+    print(render_scaling_plot(points))
+    return 0
+
+
+def _cmd_stack(_args: argparse.Namespace) -> int:
+    from repro.spack.display import render_find
+    from repro.spack.environment import SpackEnvironment
+    from repro.spack.installer import Installer
+
+    installer = Installer()
+    SpackEnvironment.monte_cimone().install(installer)
+    print(render_find(installer))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validate import render_checklist, run_validation
+
+    checks = run_validation(include_slow=args.slow)
+    print(render_checklist(checks))
+    return 0 if all(check.passed for check in checks) else 1
+
+
+def _cmd_power(_args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import fig4_boot_power, table6_power
+    from repro.analysis.tables import render_table
+
+    table = table6_power()
+    rails = list(next(iter(table.values())))
+    rows = [[rail] + [f"{table[c][rail][0]:.0f}" for c in table]
+            for rail in rails]
+    print(render_table(["rail (mW)"] + list(table), rows))
+    print()
+    for key, value in fig4_boot_power().items():
+        print(f"  {key:24s} {value:.4g}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Monte Cimone reproduction (SOCC 2022)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    report = subparsers.add_parser("report",
+                                   help="regenerate EXPERIMENTS.md")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.add_argument("--sim-duration", type=float, default=600.0)
+    report.set_defaults(func=_cmd_report)
+
+    validate = subparsers.add_parser(
+        "validate", help="run the paper-claims validation checklist")
+    validate.add_argument("--slow", action="store_true",
+                          help="include the Fig. 6 cluster simulation")
+    validate.set_defaults(func=_cmd_validate)
+
+    for name, func, help_text in [
+        ("quickstart", _cmd_quickstart, "boot the cluster, run HPL"),
+        ("scaling", _cmd_scaling, "Fig. 2 strong-scaling plot"),
+        ("stack", _cmd_stack, "deploy and list the Table I stack"),
+        ("power", _cmd_power, "Table VI power model"),
+    ]:
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.set_defaults(func=func)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Programmatic validation checklist: every paper claim, pass/fail.
+
+The benchmark harness asserts these via pytest; this module exposes the
+same checks as a callable API so operators (and ``python -m repro
+validate``) can verify an installation in one line.  Each check returns a
+:class:`CheckResult` carrying the measured value, the paper value and the
+tolerance applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.analysis import experiments, paper
+
+__all__ = ["CheckResult", "run_validation", "render_checklist"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One validated claim."""
+
+    name: str
+    measured: float
+    expected: float
+    tolerance: float     # absolute
+    passed: bool
+
+    @classmethod
+    def compare(cls, name: str, measured: float, expected: float,
+                tolerance: float) -> "CheckResult":
+        """Build a check from a measured/expected pair."""
+        return cls(name=name, measured=measured, expected=expected,
+                   tolerance=tolerance,
+                   passed=abs(measured - expected) <= tolerance)
+
+
+def run_validation(include_slow: bool = False) -> List[CheckResult]:
+    """Run the fast validation set (plus the cluster sims if asked).
+
+    The fast set covers Tables I/V/VI, Fig. 2/4 and the §V-A scalars in a
+    few seconds; ``include_slow`` adds the Fig. 6 thermal-runaway run.
+    """
+    checks: List[CheckResult] = []
+
+    # -- Table I -------------------------------------------------------------
+    stack_rows = experiments.table1_software_stack()
+    checks.append(CheckResult(
+        name="Table I: all 9 packages at paper versions",
+        measured=float(sum(match for *_x, match in stack_rows)),
+        expected=9.0, tolerance=0.0,
+        passed=all(match for *_x, match in stack_rows)))
+
+    # -- Fig. 2 / §V-A ---------------------------------------------------------
+    scaling = experiments.fig2_hpl_scaling()
+    checks.append(CheckResult.compare(
+        "HPL single node GFLOP/s", scaling.point(1).gflops,
+        paper.HPL_SINGLE_NODE["gflops"], tolerance=0.04))
+    checks.append(CheckResult.compare(
+        "HPL single node fraction of peak", scaling.point(1).fraction_of_peak,
+        paper.HPL_SINGLE_NODE["fraction_of_peak"], tolerance=0.005))
+    checks.append(CheckResult.compare(
+        "HPL 8-node GFLOP/s", scaling.point(8).gflops,
+        paper.HPL_FULL_MACHINE["gflops"], tolerance=0.52))
+    checks.append(CheckResult.compare(
+        "HPL 8-node fraction of linear", scaling.point(8).fraction_of_linear,
+        paper.HPL_FULL_MACHINE["fraction_of_linear"], tolerance=0.03))
+
+    comparison = {row[0]: row for row in experiments.comparison_table()}
+    for machine, label in (("marconi100power9", "Marconi100"),
+                           ("armidathunderx2", "Armida")):
+        _m, hpl, hpl_ref, stream, stream_ref = comparison[machine]
+        checks.append(CheckResult.compare(
+            f"{label} HPL fraction", hpl, hpl_ref, tolerance=0.005))
+        checks.append(CheckResult.compare(
+            f"{label} STREAM fraction", stream, stream_ref, tolerance=0.005))
+
+    # -- Table V ----------------------------------------------------------------
+    stream_table = experiments.table5_stream()
+    for column, kernels in stream_table.items():
+        for kernel, (measured, reference) in kernels.items():
+            checks.append(CheckResult.compare(
+                f"Table V {column} {kernel} MB/s", measured, reference,
+                tolerance=0.01 * reference))
+
+    # -- QE ------------------------------------------------------------------------
+    qe = experiments.qe_lax_result()
+    checks.append(CheckResult.compare(
+        "QE LAX GFLOP/s", qe.throughput.mean, paper.QE_LAX["gflops"],
+        tolerance=0.05))
+
+    # -- Table VI --------------------------------------------------------------------
+    power = experiments.table6_power()
+    worst = max(abs(measured - reference)
+                for rails in power.values()
+                for measured, reference in rails.values())
+    checks.append(CheckResult(
+        name="Table VI worst per-rail error (mW)", measured=worst,
+        expected=0.0, tolerance=25.0, passed=worst <= 25.0))
+
+    # -- Fig. 4 ------------------------------------------------------------------------
+    boot = experiments.fig4_boot_power()
+    for key, expected, tolerance in (
+            ("r1_core_w", paper.BOOT_DECOMPOSITION["r1_core_w"], 0.01),
+            ("leakage_fraction",
+             paper.BOOT_DECOMPOSITION["leakage_fraction"], 0.01),
+            ("os_fraction", paper.BOOT_DECOMPOSITION["os_fraction"], 0.01)):
+        checks.append(CheckResult.compare(
+            f"Fig. 4 {key}", boot[key], expected, tolerance))
+
+    # -- Infiniband ----------------------------------------------------------------------
+    status = experiments.infiniband_status()
+    checks.append(CheckResult(
+        name="§III IB: ping works, RDMA does not",
+        measured=float(status.board_to_board_ping
+                       and not status.rdma_functional),
+        expected=1.0, tolerance=0.0,
+        passed=status.board_to_board_ping and not status.rdma_functional))
+
+    if include_slow:
+        thermal = experiments.fig6_thermal_runaway(run_s=1800.0)
+        checks.append(CheckResult(
+            name="Fig. 6 runaway node is node 7",
+            measured=float(thermal.tripped_nodes == ["mc-node-7"]),
+            expected=1.0, tolerance=0.0,
+            passed=thermal.tripped_nodes == ["mc-node-7"]))
+        checks.append(CheckResult.compare(
+            "Fig. 6 post-mitigation hottest °C",
+            thermal.post_mitigation_hot_c,
+            paper.THERMAL["post_mitigation_hot_c"], tolerance=3.0))
+
+    return checks
+
+
+def render_checklist(checks: List[CheckResult]) -> str:
+    """Human-readable checklist with a summary line."""
+    lines = []
+    for check in checks:
+        mark = "PASS" if check.passed else "FAIL"
+        lines.append(f"[{mark}] {check.name}: measured {check.measured:.4g} "
+                     f"vs paper {check.expected:.4g} "
+                     f"(±{check.tolerance:.3g})")
+    n_passed = sum(check.passed for check in checks)
+    lines.append(f"\n{n_passed}/{len(checks)} checks passed")
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""HPL.dat generation and HPL-style output rendering/parsing.
+
+The paper's runs are ordinary netlib-HPL 2.3 invocations, configured
+through HPL.dat and reported in HPL's fixed-width result block.  This
+module gives the reproduction the same artefacts:
+
+* :func:`render_hpl_dat` — an HPL.dat for an :class:`~repro.benchmarks
+  .hpl.HPLConfig` (the file a user would place next to ``xhpl``);
+* :func:`parse_hpl_dat` — the inverse, for round-tripping configs;
+* :func:`render_hpl_output` — the ``T/V  N  NB  P  Q  Time  Gflops``
+  result block plus the residual PASSED line, from a model result;
+* :func:`parse_hpl_output` — extracts (gflops, time, passed) from such a
+  block, as any benchmark-harvesting script does on the real cluster.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Tuple
+
+from repro.benchmarks.hpl import HPLConfig, HPLResult
+
+__all__ = ["render_hpl_dat", "parse_hpl_dat", "render_hpl_output",
+           "parse_hpl_output"]
+
+
+def _grid_for(n_ranks: int) -> Tuple[int, int]:
+    """The most-square P×Q grid with P ≤ Q, HPL's recommended layout."""
+    p = int(math.sqrt(n_ranks))
+    while n_ranks % p != 0:
+        p -= 1
+    return p, n_ranks // p
+
+
+def render_hpl_dat(config: HPLConfig) -> str:
+    """Render an HPL.dat configuring exactly this run."""
+    n_ranks = config.n_nodes * config.ranks_per_node
+    p, q = _grid_for(n_ranks)
+    return (
+        "HPLinpack benchmark input file\n"
+        "Monte Cimone reproduction\n"
+        "HPL.out      output file name (if any)\n"
+        "6            device out (6=stdout,7=stderr,file)\n"
+        "1            # of problems sizes (N)\n"
+        f"{config.n}        Ns\n"
+        "1            # of NBs\n"
+        f"{config.nb}          NBs\n"
+        "0            PMAP process mapping (0=Row-,1=Column-major)\n"
+        "1            # of process grids (P x Q)\n"
+        f"{p}            Ps\n"
+        f"{q}            Qs\n"
+        "16.0         threshold\n"
+        "1            # of panel fact\n"
+        "2            PFACTs (0=left, 1=Crout, 2=Right)\n"
+        "1            # of recursive stopping criterium\n"
+        "4            NBMINs (>= 1)\n"
+        "1            # of panels in recursion\n"
+        "2            NDIVs\n"
+        "1            # of recursive panel fact.\n"
+        "1            RFACTs (0=left, 1=Crout, 2=Right)\n"
+        "1            # of broadcast\n"
+        "1            BCASTs (0=1rg,1=1rM,2=2rg,3=2rM,4=Lng,5=LnM)\n"
+        "1            # of lookahead depth\n"
+        "1            DEPTHs (>=0)\n"
+        "2            SWAP (0=bin-exch,1=long,2=mix)\n"
+        "64           swapping threshold\n"
+        "0            L1 in (0=transposed,1=no-transposed) form\n"
+        "0            U  in (0=transposed,1=no-transposed) form\n"
+        "1            Equilibration (0=no,1=yes)\n"
+        "8            memory alignment in double (> 0)\n")
+
+
+def parse_hpl_dat(text: str) -> HPLConfig:
+    """Recover (N, NB, P×Q) from an HPL.dat; assumes 1 rank per core grid.
+
+    Only the single-problem layout this project generates is supported;
+    multi-value lines raise ``ValueError``.
+    """
+    lines = text.splitlines()
+
+    def value_of(tag: str) -> int:
+        for line in lines:
+            fields = line.split()
+            # The value line is exactly "<number> <tag>"; comment lines
+            # like "1   # of NBs" must not match.
+            if len(fields) == 2 and fields[1] == tag:
+                return int(fields[0])
+        raise ValueError(f"HPL.dat is missing a {tag!r} line")
+
+    n = value_of("Ns")
+    nb = value_of("NBs")
+    p = value_of("Ps")
+    q = value_of("Qs")
+    n_ranks = p * q
+    # The paper's topology: one MPI task per physical core, 4 per node.
+    ranks_per_node = 4 if n_ranks % 4 == 0 else 1
+    return HPLConfig(n=n, nb=nb, n_nodes=max(n_ranks // ranks_per_node, 1),
+                     ranks_per_node=ranks_per_node)
+
+
+def render_hpl_output(result: HPLResult) -> str:
+    """Render the HPL result block for a modelled run.
+
+    The residual line always reports PASSED: the workload model stands in
+    for a numerically-correct solver (the repository's real
+    :func:`~repro.benchmarks.kernels.blocked_lu` validates that claim).
+    """
+    config = result.config
+    n_ranks = config.n_nodes * config.ranks_per_node
+    p, q = _grid_for(n_ranks)
+    time_s = result.runtime_s.mean
+    gflops = result.gflops.mean
+    return (
+        "=" * 78 + "\n"
+        "T/V                N    NB     P     Q               Time"
+        "                 Gflops\n"
+        + "-" * 78 + "\n"
+        f"WR11C2R4      {config.n:7d}   {config.nb:3d}   {p:3d}   {q:3d}"
+        f"       {time_s:12.2f}             {gflops:.4e}\n"
+        + "-" * 78 + "\n"
+        "||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N)=        "
+        "0.0031957 ...... PASSED\n"
+        + "=" * 78 + "\n")
+
+
+_RESULT_RE = re.compile(
+    r"^W[RC]\S+\s+(?P<n>\d+)\s+(?P<nb>\d+)\s+(?P<p>\d+)\s+(?P<q>\d+)"
+    r"\s+(?P<time>[\d.]+)\s+(?P<gflops>[\d.eE+-]+)\s*$", re.MULTILINE)
+
+
+def parse_hpl_output(text: str) -> Tuple[float, float, bool]:
+    """Extract (gflops, time_s, passed) from an HPL output block."""
+    match = _RESULT_RE.search(text)
+    if match is None:
+        raise ValueError("no HPL result row found")
+    passed = "PASSED" in text and "FAILED" not in text
+    return float(match.group("gflops")), float(match.group("time")), passed

@@ -1,0 +1,77 @@
+"""QuantumESPRESSO LAX test-driver model (§V-A).
+
+The paper benchmarks the quantumESPRESSO suite through its LAX test
+driver — a blocked (optionally distributed) matrix diagonalisation that is
+representative of the full application's hot loop.  For a 512² input
+matrix on a single node the paper measures 1.44 ± 0.05 GFLOP/s (36% of the
+theoretical FPU efficiency) over a test duration of 37.40 ± 0.14 s.
+
+The model computes the driver's operation count from the matrix size and a
+work factor (iterated blocked diagonalisation sweeps) calibrated so that
+the paper's duration and throughput are mutually consistent:
+``flops = WORK_FACTOR · n³`` with ``WORK_FACTOR`` ≈ 401 for the LAX
+default iteration count.  The attained efficiency (36%) sits between HPL
+(46.5%) and STREAM because the rotation kernels mix DGEMM-like updates
+with bandwidth-bound reorderings — it is carried as its own calibrated
+fraction rather than derived, matching how the paper reports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchmarks.base import BenchmarkResult, RunStatistics
+from repro.hardware.specs import MONTE_CIMONE_NODE, NodeSpec
+
+__all__ = ["QELaxConfig", "QELaxModel"]
+
+
+@dataclass(frozen=True)
+class QELaxConfig:
+    """A LAX driver invocation: matrix order and MPI layout."""
+
+    n: int = 512
+    n_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("matrix order must be at least 2")
+        if self.n_nodes < 1:
+            raise ValueError("need at least one node")
+
+    @property
+    def flops(self) -> float:
+        """Total floating-point work of the driver run."""
+        return QELaxModel.WORK_FACTOR * float(self.n) ** 3
+
+
+class QELaxModel:
+    """Performance model of the LAX blocked-diagonalisation driver."""
+
+    #: Calibrated iterated-sweep work factor: 1.44e9 FLOP/s × 37.40 s
+    #: over 512³ elements.
+    WORK_FACTOR = 401.3
+    #: Attained fraction of FPU peak on the U740 with the upstream stack.
+    EFFICIENCY = 0.36
+    #: Run-to-run spread (0.05/1.44 ≈ 3.5% on GFLOP/s; runtime is steadier).
+    RELATIVE_SPREAD_GFLOPS = 0.035
+    RELATIVE_SPREAD_RUNTIME = 0.004
+
+    def __init__(self, node: NodeSpec = MONTE_CIMONE_NODE) -> None:
+        self.node = node
+
+    def run(self, config: QELaxConfig | None = None,
+            seed: int = 2022) -> BenchmarkResult:
+        """Model one LAX run (10 repetitions, mean ± std)."""
+        config = config if config is not None else QELaxConfig()
+        attained = self.node.peak_flops * self.EFFICIENCY * config.n_nodes
+        runtime_central = config.flops / attained
+        gflops_central = config.flops / runtime_central / 1e9
+        return BenchmarkResult(
+            benchmark="qe_lax", machine=self.node.name,
+            throughput=RunStatistics.from_model(
+                gflops_central, self.RELATIVE_SPREAD_GFLOPS, seed=seed),
+            throughput_unit="GFLOP/s",
+            runtime_s=RunStatistics.from_model(
+                runtime_central, self.RELATIVE_SPREAD_RUNTIME, seed=seed + 1),
+            efficiency=self.EFFICIENCY)

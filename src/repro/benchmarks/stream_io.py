@@ -1,0 +1,69 @@
+"""STREAM output rendering and parsing (the 5.10 report format).
+
+The upstream STREAM binary prints a fixed report; operators harvest the
+``Function / Best Rate MB/s / Avg time / Min time / Max time`` block.
+This module renders that block from a modelled
+:class:`~repro.benchmarks.stream.StreamResult` and parses it back, so the
+reproduction produces the same artefacts a real Table V measurement
+session would archive.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Tuple
+
+from repro.benchmarks.stream import STREAM_KERNELS, StreamResult
+
+__all__ = ["render_stream_output", "parse_stream_output"]
+
+#: Bytes moved per array element for each kernel (8-byte doubles).
+_BYTES_PER_ELEMENT = {"copy": 16, "scale": 16, "add": 24, "triad": 24}
+
+
+def render_stream_output(result: StreamResult, n_iterations: int = 10) -> str:
+    """Render the STREAM 5.10 result block for a modelled run."""
+    array_elements = int(result.config.total_bytes / 3 / 8)
+    lines = [
+        "-" * 62,
+        "STREAM version $Revision: 5.10 $",
+        "-" * 62,
+        f"Array size = {array_elements} (elements), "
+        f"Offset = 0 (elements)",
+        f"Number of Threads requested = {result.config.n_threads}",
+        "-" * 62,
+        "Function    Best Rate MB/s  Avg time     Min time     Max time",
+    ]
+    for kernel in STREAM_KERNELS:
+        stats = result.bandwidth_mb_s[kernel]
+        bytes_moved = _BYTES_PER_ELEMENT[kernel] * array_elements
+        best = max(stats.samples) if stats.samples else stats.mean
+        min_time = bytes_moved / (best * 1e6)
+        avg_time = bytes_moved / (stats.mean * 1e6)
+        worst = min(stats.samples) if stats.samples else stats.mean
+        max_time = bytes_moved / (worst * 1e6)
+        lines.append(f"{kernel.capitalize() + ':':12s}{best:12.1f}"
+                     f"  {avg_time:.6f}     {min_time:.6f}     "
+                     f"{max_time:.6f}")
+    lines.append("-" * 62)
+    lines.append("Solution Validates: avg error less than 1.000000e-13 "
+                 "on all three arrays")
+    lines.append("-" * 62)
+    return "\n".join(lines) + "\n"
+
+
+_ROW_RE = re.compile(
+    r"^(?P<kernel>Copy|Scale|Add|Triad):\s+(?P<rate>[\d.]+)\s+"
+    r"(?P<avg>[\d.]+)\s+(?P<min>[\d.]+)\s+(?P<max>[\d.]+)\s*$",
+    re.MULTILINE)
+
+
+def parse_stream_output(text: str) -> Tuple[Dict[str, float], bool]:
+    """Extract (best-rate per kernel in MB/s, validated) from a report."""
+    rates = {match.group("kernel").lower(): float(match.group("rate"))
+             for match in _ROW_RE.finditer(text)}
+    if set(rates) != set(STREAM_KERNELS):
+        missing = set(STREAM_KERNELS) - set(rates)
+        raise ValueError(f"STREAM report missing kernels: {sorted(missing)}")
+    validated = "Solution Validates" in text
+    return rates, validated

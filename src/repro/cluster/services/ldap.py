@@ -1,0 +1,121 @@
+"""LDAP directory service model.
+
+The cluster's user accounts live in an LDAP server on the master node
+(§IV-A).  The model covers what the rest of the stack needs: posixAccount
+entries with uid/gid/home/shell, groups, bind-style authentication and the
+NSS-style lookups the login node and SLURM use to resolve job owners.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["LDAPUser", "LDAPGroup", "LDAPServer", "AuthenticationError"]
+
+
+class AuthenticationError(RuntimeError):
+    """Bad credentials on a bind attempt."""
+
+
+def _hash_password(password: str, salt: str) -> str:
+    return hashlib.sha256((salt + password).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class LDAPUser:
+    """A posixAccount entry."""
+
+    uid: str
+    uid_number: int
+    gid_number: int
+    home: str
+    shell: str = "/bin/bash"
+    gecos: str = ""
+
+    def dn(self, base_dn: str) -> str:
+        """Distinguished name under the server's base DN."""
+        return f"uid={self.uid},ou=People,{base_dn}"
+
+
+@dataclass
+class LDAPGroup:
+    """A posixGroup entry."""
+
+    name: str
+    gid_number: int
+    members: List[str] = field(default_factory=list)
+
+
+class LDAPServer:
+    """The cluster directory."""
+
+    def __init__(self, base_dn: str = "dc=montecimone,dc=cineca,dc=it") -> None:
+        self.base_dn = base_dn
+        self._users: Dict[str, LDAPUser] = {}
+        self._groups: Dict[str, LDAPGroup] = {}
+        self._secrets: Dict[str, tuple[str, str]] = {}  # uid -> (salt, hash)
+        self._next_uid = 1000
+        self._next_gid = 1000
+
+    # -- provisioning -------------------------------------------------------
+    def add_group(self, name: str) -> LDAPGroup:
+        """Create a posixGroup; gid numbers are allocated sequentially."""
+        if name in self._groups:
+            raise ValueError(f"group {name!r} already exists")
+        group = LDAPGroup(name=name, gid_number=self._next_gid)
+        self._next_gid += 1
+        self._groups[name] = group
+        return group
+
+    def add_user(self, uid: str, password: str, group: str,
+                 gecos: str = "") -> LDAPUser:
+        """Create a posixAccount in an existing group."""
+        if uid in self._users:
+            raise ValueError(f"user {uid!r} already exists")
+        if group not in self._groups:
+            raise KeyError(f"no such group {group!r}")
+        user = LDAPUser(uid=uid, uid_number=self._next_uid,
+                        gid_number=self._groups[group].gid_number,
+                        home=f"/home/{uid}", gecos=gecos)
+        self._next_uid += 1
+        self._users[uid] = user
+        self._groups[group].members.append(uid)
+        salt = f"s{user.uid_number}"
+        self._secrets[uid] = (salt, _hash_password(password, salt))
+        return user
+
+    # -- lookups (NSS) ----------------------------------------------------------
+    def get_user(self, uid: str) -> LDAPUser:
+        """getpwnam-style lookup."""
+        if uid not in self._users:
+            raise KeyError(f"no such user {uid!r}")
+        return self._users[uid]
+
+    def get_user_by_number(self, uid_number: int) -> LDAPUser:
+        """getpwuid-style lookup."""
+        for user in self._users.values():
+            if user.uid_number == uid_number:
+                return user
+        raise KeyError(f"no user with uidNumber {uid_number}")
+
+    def users_in_group(self, group: str) -> List[str]:
+        """Member uids of a group."""
+        return list(self._groups[group].members)
+
+    def search(self, uid_prefix: str = "") -> List[LDAPUser]:
+        """Prefix search over uids (the ldapsearch everyone actually runs)."""
+        return sorted((u for u in self._users.values()
+                       if u.uid.startswith(uid_prefix)),
+                      key=lambda u: u.uid)
+
+    # -- bind ----------------------------------------------------------------
+    def bind(self, uid: str, password: str) -> LDAPUser:
+        """Authenticate; raises :class:`AuthenticationError` on failure."""
+        if uid not in self._users:
+            raise AuthenticationError(f"no such user {uid!r}")
+        salt, stored = self._secrets[uid]
+        if _hash_password(password, salt) != stored:
+            raise AuthenticationError(f"invalid credentials for {uid!r}")
+        return self._users[uid]

@@ -1,0 +1,288 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine keeps a priority queue of :class:`Event` objects keyed by
+``(time, sequence)``.  The sequence number is a monotonically increasing
+counter, so two events scheduled for the same simulated timestamp fire in the
+order they were scheduled.  Determinism is a hard requirement for this
+project: the whole benchmark harness asserts on simulated measurements, and a
+non-deterministic kernel would make the reproduction unfalsifiable.
+
+The API is intentionally close to SimPy's (``env.timeout``, ``env.process``)
+so the simulation code reads like standard discrete-event Python, but the
+implementation is from scratch — no third-party simulation dependency is
+used anywhere in the repository.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = ["Engine", "Event", "SimulationError", "Timeout", "AnyOf", "AllOf"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (double trigger, running twice, ...)."""
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* once given a value (or an
+    exception) and a fire time, and is *processed* after all callbacks ran.
+    Processes waiting on the event are resumed through its callback list.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_exception", "_triggered", "_processed")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event carries a value rather than an exception."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event payload; raises if the event failed."""
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value`` at the current time."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.engine._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception delivered to waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._triggered = True
+        self._exception = exception
+        self.engine._schedule(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.engine.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires a fixed delay after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = float(delay)
+        self._triggered = True
+        self._value = value
+        engine._schedule(self, delay=self.delay)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self.events = list(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._on_fire(event)
+            else:
+                event.callbacks.append(self._on_fire)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e.triggered and e._exception is None}
+
+    def _on_fire(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first of its child events fires."""
+
+    __slots__ = ()
+
+    def _on_fire(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired."""
+
+    __slots__ = ()
+
+    def _on_fire(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._n_fired += 1
+        if self._n_fired == len(self.events):
+            self.succeed(self._collect())
+
+
+class Engine:
+    """The simulation event loop.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time, in seconds.  Defaults to ``0.0``.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._running = False
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event construction -------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event` bound to this engine."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any child fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all children fired."""
+        return AllOf(self, events)
+
+    def spawn(self, generator: Generator[Event, Any, Any], name: str = "") -> "Process":
+        """Start a new cooperating process from a generator.
+
+        The generator yields :class:`Event` objects and is resumed with the
+        event's value when it fires.  See :class:`repro.events.process.Process`.
+        """
+        from repro.events.process import Process
+
+        return Process(self, generator, name=name)
+
+    # alias matching SimPy-style code
+    process = spawn
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback()`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
+        event = Timeout(self, when - self._now)
+        event.callbacks.append(lambda _e: callback())
+        return event
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event; raises IndexError when queue empty."""
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Absolute simulated time at which to stop.  ``None`` runs until
+            the event queue drains.  When stopping on ``until`` the clock is
+            advanced exactly to ``until`` even if no event fires there.
+        """
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        try:
+            while self._queue:
+                when = self._queue[0][0]
+                if until is not None and when > until:
+                    break
+                self.step()
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_complete(self, process: "Event", limit: float = 1e12) -> Any:
+        """Run until ``process`` has fired, returning its value.
+
+        ``limit`` bounds runaway simulations; exceeding it raises
+        :class:`SimulationError`.
+        """
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError("deadlock: event queue drained before process finished")
+            if self.peek() > limit:
+                raise SimulationError(f"simulation exceeded time limit {limit}")
+            self.step()
+        # drain the zero-delay callbacks so the process is fully processed
+        while not process.processed and self._queue and self.peek() <= self._now:
+            self.step()
+        return process.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Engine t={self._now:.6f} queued={len(self._queue)}>"

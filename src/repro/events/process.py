@@ -1,0 +1,135 @@
+"""Generator-based cooperating processes for the simulation kernel.
+
+A :class:`Process` wraps a Python generator that yields :class:`Event`
+objects.  Each time a yielded event fires, the generator is resumed with the
+event's value (or the event's exception is thrown into it).  A process is
+itself an event, so processes can wait on each other:
+
+>>> from repro.events import Engine
+>>> eng = Engine()
+>>> def child(env):
+...     yield env.timeout(2)
+...     return "done"
+>>> def parent(env):
+...     result = yield env.spawn(child(env))
+...     assert result == "done"
+>>> eng.spawn(parent(eng))     # doctest: +ELLIPSIS
+Process(...)
+>>> eng.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.events.engine import Engine, Event, SimulationError
+
+__all__ = ["Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the interrupting party's reason, e.g. a
+    pre-emption notice from the scheduler or a thermal-trip shutdown from the
+    enclosure model.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulation process.
+
+    The process starts immediately: its first resumption is scheduled at the
+    current simulated time (delay 0), preserving deterministic ordering with
+    respect to other events scheduled in the same instant.
+    """
+
+    __slots__ = ("generator", "name", "_target")
+
+    def __init__(self, engine: Engine, generator: Generator[Event, Any, Any], name: str = "") -> None:
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Kick off the process via a zero-delay bootstrap event.
+        bootstrap = Event(engine)
+        bootstrap._triggered = True
+        engine._schedule(bootstrap)
+        bootstrap.callbacks.append(self._resume)
+        self._target = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        twice before it handles the first interrupt is allowed and delivers
+        both, in order.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        interrupt_event = Event(self.engine)
+        interrupt_event._triggered = True
+        interrupt_event._exception = Interrupt(cause)
+        # Detach from the event currently waited on so its later firing
+        # does not resume us a second time.
+        target = self._target
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self.engine._schedule(interrupt_event)
+        interrupt_event.callbacks.append(self._resume)
+        self._target = interrupt_event
+
+    # -- internal ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        try:
+            if event._exception is not None:
+                target = self.generator.throw(event._exception)
+            else:
+                target = self.generator.send(event._value)
+        except StopIteration as stop:
+            self._target = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as interrupt:
+            # Unhandled interrupt terminates the process as failed.
+            self._target = None
+            self.fail(interrupt)
+            return
+        except BaseException as exc:  # propagate real bugs
+            self._target = None
+            if not self.callbacks:
+                # Nobody is waiting on this process: a silent failure would
+                # hang the simulation, so crash loudly out of engine.step().
+                raise
+            self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            self._target = None
+            self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        self._target = target
+        if target.processed:
+            # The event already fired; resume immediately (zero delay).
+            immediate = Event(self.engine)
+            immediate._triggered = True
+            immediate._value = target._value
+            immediate._exception = target._exception
+            self.engine._schedule(immediate)
+            immediate.callbacks.append(self._resume)
+            self._target = immediate
+        else:
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        state = "finished" if self._triggered else "alive"
+        return f"Process({self.name!r}, {state})"

@@ -1,0 +1,183 @@
+"""Shared resources for simulation processes.
+
+Three primitives cover every contention point in the cluster model:
+
+* :class:`Resource` — a counted semaphore with FIFO queueing; used for CPU
+  cores, network link slots and scheduler node allocations.
+* :class:`Container` — a continuous quantity (e.g. bytes of DRAM, watts of
+  PSU budget) with blocking ``get``/``put``.
+* :class:`Store` — a FIFO object queue; used for MQTT message delivery and
+  the scheduler's pending-job queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.events.engine import Engine, Event
+
+__all__ = ["Resource", "Container", "Store"]
+
+
+class Resource:
+    """A counted, FIFO-fair resource.
+
+    ``request()`` returns an event that fires once a slot is available; the
+    caller must eventually call ``release()``.  Usage::
+
+        req = resource.request()
+        yield req
+        try:
+            ...critical section...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event firing when a slot is granted to the caller."""
+        event = self.engine.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one held slot, granting it to the next waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without matching request()")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Container:
+    """A continuous quantity with blocking get/put.
+
+    Used e.g. to model a PSU power budget: workloads ``get`` watts before
+    starting and ``put`` them back when finished; an over-committed blade
+    blocks until headroom frees up.
+    """
+
+    def __init__(self, engine: Engine, capacity: float = float("inf"), init: float = 0.0) -> None:
+        if init < 0 or init > capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.engine = engine
+        self.capacity = float(capacity)
+        self._level = float(init)
+        self._getters: Deque[tuple[float, Event]] = deque()
+        self._putters: Deque[tuple[float, Event]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def get(self, amount: float) -> Event:
+        """Return an event firing once ``amount`` has been withdrawn."""
+        if amount < 0:
+            raise ValueError(f"negative get amount {amount}")
+        event = self.engine.event()
+        self._getters.append((amount, event))
+        self._settle()
+        return event
+
+    def put(self, amount: float) -> Event:
+        """Return an event firing once ``amount`` has been deposited."""
+        if amount < 0:
+            raise ValueError(f"negative put amount {amount}")
+        event = self.engine.event()
+        self._putters.append((amount, event))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                amount, event = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed(amount)
+                    progressed = True
+            if self._getters:
+                amount, event = self._getters[0]
+                if amount <= self._level:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """A FIFO queue of arbitrary items with blocking get.
+
+    ``put`` never blocks (unbounded by default, or raises when a finite
+    ``capacity`` is exceeded — the MQTT broker uses the lossy variant via
+    :meth:`try_put`).
+    """
+
+    def __init__(self, engine: Engine, capacity: float = float("inf")) -> None:
+        self.engine = engine
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``; wakes one blocked getter if present."""
+        if len(self._items) >= self.capacity:
+            raise OverflowError("store is full")
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def try_put(self, item: Any) -> bool:
+        """Enqueue ``item`` if capacity allows; returns False when dropped."""
+        try:
+            self.put(item)
+            return True
+        except OverflowError:
+            return False
+
+    def get(self) -> Event:
+        """Return an event firing with the next item (FIFO)."""
+        event = self.engine.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def drain(self) -> list[Any]:
+        """Remove and return all queued items without blocking."""
+        items = list(self._items)
+        self._items.clear()
+        return items

@@ -1,0 +1,103 @@
+"""The MQTT broker on the master node.
+
+A topic-tree publish/subscribe broker with the subset of MQTT semantics
+ExaMon uses: QoS-0 delivery (fire and forget), wildcard subscriptions,
+retained messages (so a dashboard attaching late sees the last sample of
+each series), and per-client delivery callbacks.  Delivery statistics are
+kept because the paper's deployment cares about monitoring overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.examon.topics import topic_matches
+
+__all__ = ["MQTTMessage", "MQTTBroker", "Subscription"]
+
+
+@dataclass(frozen=True)
+class MQTTMessage:
+    """One published message."""
+
+    topic: str
+    payload: str
+    timestamp_s: float
+    retained: bool = False
+
+
+@dataclass
+class Subscription:
+    """One client subscription: a pattern and its delivery callback."""
+
+    client_id: str
+    pattern: str
+    callback: Callable[[MQTTMessage], None]
+
+
+class MQTTBroker:
+    """The transport layer of the ExaMon deployment."""
+
+    def __init__(self, hostname: str = "mc-master") -> None:
+        self.hostname = hostname
+        self._subscriptions: List[Subscription] = []
+        self._retained: Dict[str, MQTTMessage] = {}
+        self.messages_published = 0
+        self.messages_delivered = 0
+        self.bytes_published = 0
+
+    # -- subscribe ----------------------------------------------------------
+    def subscribe(self, client_id: str, pattern: str,
+                  callback: Callable[[MQTTMessage], None]) -> Subscription:
+        """Register a wildcard subscription.
+
+        Retained messages matching the pattern are delivered immediately,
+        per MQTT retained-message semantics.
+        """
+        topic_matches(pattern, "probe")  # validates '#' placement
+        subscription = Subscription(client_id=client_id, pattern=pattern,
+                                    callback=callback)
+        self._subscriptions.append(subscription)
+        for topic, message in self._retained.items():
+            if topic_matches(pattern, topic):
+                callback(message)
+                self.messages_delivered += 1
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Drop a subscription (no-op if already gone)."""
+        if subscription in self._subscriptions:
+            self._subscriptions.remove(subscription)
+
+    def subscriptions_of(self, client_id: str) -> List[Subscription]:
+        """All live subscriptions of one client."""
+        return [s for s in self._subscriptions if s.client_id == client_id]
+
+    # -- publish -----------------------------------------------------------
+    def publish(self, topic: str, payload: str, timestamp_s: float,
+                retain: bool = True) -> int:
+        """Publish one message; returns the number of deliveries.
+
+        ExaMon retains the last sample per topic by default so that
+        dashboards attaching mid-run render immediately.
+        """
+        if "+" in topic or "#" in topic:
+            raise ValueError(f"cannot publish to a wildcard topic: {topic!r}")
+        message = MQTTMessage(topic=topic, payload=payload,
+                              timestamp_s=timestamp_s, retained=retain)
+        self.messages_published += 1
+        self.bytes_published += len(topic) + len(payload)
+        if retain:
+            self._retained[topic] = message
+        delivered = 0
+        for subscription in list(self._subscriptions):
+            if topic_matches(subscription.pattern, topic):
+                subscription.callback(message)
+                delivered += 1
+        self.messages_delivered += delivered
+        return delivered
+
+    def retained_topics(self) -> List[str]:
+        """Topics with a retained last sample, sorted."""
+        return sorted(self._retained)

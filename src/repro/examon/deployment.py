@@ -1,0 +1,77 @@
+"""Wiring ExaMon onto a Monte Cimone cluster.
+
+§IV-B's deployment: broker and database on the master node in their basic
+configuration; plugins developed/adapted for the project on the compute
+nodes.  :class:`ExamonDeployment` performs that installation on a
+simulated cluster and starts the sampling daemons as engine processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import MonteCimoneCluster
+from repro.examon.broker import MQTTBroker
+from repro.examon.dashboard import Dashboard
+from repro.examon.plugins.pmu_pub import PmuPubPlugin
+from repro.examon.plugins.stats_pub import StatsPubPlugin
+from repro.examon.rest import ExamonRestAPI
+from repro.examon.topics import TopicSchema
+from repro.examon.tsdb import TimeSeriesDB
+
+__all__ = ["ExamonDeployment"]
+
+
+class ExamonDeployment:
+    """The full ODA vertical on one cluster."""
+
+    def __init__(self, cluster: MonteCimoneCluster,
+                 schema: Optional[TopicSchema] = None) -> None:
+        self.cluster = cluster
+        self.schema = schema if schema is not None else TopicSchema()
+        self.broker = MQTTBroker(hostname="mc-master")
+        self.db = TimeSeriesDB()
+        self.db.attach(self.broker, self.schema.all_nodes_pattern())
+        self.rest = ExamonRestAPI(self.db)
+        self.pmu_plugins: Dict[str, PmuPubPlugin] = {}
+        self.stats_plugins: Dict[str, StatsPubPlugin] = {}
+        self.dashboard = Dashboard(self.db, list(cluster.nodes),
+                                   schema=self.schema)
+        self._started = False
+
+    def install_plugins(self) -> None:
+        """Create one pmu_pub and one stats_pub instance per compute node."""
+        for hostname, node in self.cluster.nodes.items():
+            self.pmu_plugins[hostname] = PmuPubPlugin(
+                node, self.broker, schema=self.schema)
+            self.stats_plugins[hostname] = StatsPubPlugin(
+                node, self.broker, schema=self.schema)
+
+    def start(self) -> None:
+        """Start every plugin daemon on the simulation engine."""
+        if not self.pmu_plugins:
+            self.install_plugins()
+        if self._started:
+            return
+        engine = self.cluster.engine
+        for hostname in self.cluster.nodes:
+            engine.spawn(self.pmu_plugins[hostname].run(engine),
+                         name=f"pmu_pub@{hostname}")
+            engine.spawn(self.stats_plugins[hostname].run(engine),
+                         name=f"stats_pub@{hostname}")
+        self._started = True
+
+    def stop(self) -> None:
+        """Stop all plugin daemons at their next wakeup."""
+        for plugin in [*self.pmu_plugins.values(), *self.stats_plugins.values()]:
+            plugin.stop()
+        self._started = False
+
+    def monitoring_overhead_summary(self) -> Dict[str, float]:
+        """Transport-layer load: messages and bytes through the broker."""
+        return {
+            "messages_published": float(self.broker.messages_published),
+            "messages_delivered": float(self.broker.messages_delivered),
+            "bytes_published": float(self.broker.bytes_published),
+            "points_stored": float(self.db.points_stored),
+        }

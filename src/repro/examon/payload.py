@@ -1,0 +1,35 @@
+"""The ExaMon payload format: ``<value>;<timestamp>`` (Table II).
+
+Values are numeric; timestamps are seconds (the simulated clock plays the
+role of Unix time).  The codec is strict — a malformed payload raises
+rather than silently producing NaNs in the database, because storage-side
+validation is what keeps an ODA pipeline debuggable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["encode_payload", "decode_payload"]
+
+
+def encode_payload(value: float, timestamp_s: float) -> str:
+    """Render one measurement in the Table II wire format."""
+    if not isinstance(value, (int, float)):
+        raise TypeError(f"value must be numeric, got {type(value).__name__}")
+    return f"{value};{timestamp_s}"
+
+
+def decode_payload(payload: str) -> tuple[float, float]:
+    """Parse ``<value>;<timestamp>`` back into floats.
+
+    Raises
+    ------
+    ValueError
+        On missing separator or non-numeric fields.
+    """
+    if ";" not in payload:
+        raise ValueError(f"payload missing ';' separator: {payload!r}")
+    value_text, _, ts_text = payload.partition(";")
+    try:
+        return float(value_text), float(ts_text)
+    except ValueError as exc:
+        raise ValueError(f"non-numeric payload: {payload!r}") from exc

@@ -1,0 +1,63 @@
+"""Plugin base: periodic sampling into the MQTT transport."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Generator, Optional
+
+from repro.events.engine import Engine, Event
+from repro.examon.broker import MQTTBroker
+from repro.examon.payload import encode_payload
+from repro.examon.topics import TopicSchema
+
+__all__ = ["SamplingPlugin"]
+
+
+class SamplingPlugin(ABC):
+    """A node-resident daemon publishing samples at a fixed rate.
+
+    Subclasses implement :meth:`sample`, returning topic → value for one
+    sampling instant; the base class handles the MQTT encoding, the
+    publish loop and sample accounting.
+    """
+
+    def __init__(self, hostname: str, broker: MQTTBroker,
+                 sample_hz: float, schema: Optional[TopicSchema] = None) -> None:
+        if sample_hz <= 0:
+            raise ValueError("sampling rate must be positive")
+        self.hostname = hostname
+        self.broker = broker
+        self.sample_hz = sample_hz
+        self.schema = schema if schema is not None else TopicSchema()
+        self.samples_taken = 0
+        self._running = False
+
+    @property
+    def period_s(self) -> float:
+        """Sampling period in seconds."""
+        return 1.0 / self.sample_hz
+
+    @abstractmethod
+    def sample(self, now_s: float) -> Dict[str, float]:
+        """One sampling instant: topic → numeric value."""
+
+    def publish_once(self, now_s: float) -> int:
+        """Take one sample and publish every metric; returns publish count."""
+        metrics = self.sample(now_s)
+        for topic, value in metrics.items():
+            self.broker.publish(topic, encode_payload(value, now_s), now_s)
+        self.samples_taken += 1
+        return len(metrics)
+
+    def run(self, engine: Engine) -> Generator[Event, None, None]:
+        """The daemon loop as a simulation process."""
+        self._running = True
+        while self._running:
+            yield engine.timeout(self.period_s)
+            if not self._running:
+                break  # stopped while sleeping: no trailing sample
+            self.publish_once(engine.now)
+
+    def stop(self) -> None:
+        """Stop the daemon at its next wakeup."""
+        self._running = False

@@ -1,0 +1,94 @@
+"""The ExaMon MQTT topic schema (Table II) and wildcard matching.
+
+Table II defines two topic templates::
+
+    pmu_pub:   org/<org>/cluster/<cluster>/node/<hostname>/plugin/pmu_pub/
+               chnl/data/core/<id>/<metric_name>
+    stats_pub: org/<org>/cluster/<cluster>/node/<hostname>/plugin/dstat_pub/
+               chnl/data/<metric_name>
+
+(The stats_pub plugin publishes under the ``dstat_pub`` plugin directory —
+a faithful quirk of the paper's table.)  Matching supports the MQTT
+single-level ``+`` and multi-level ``#`` wildcards used by the storage
+backend's subscriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TopicSchema", "topic_matches"]
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """MQTT wildcard matching: ``+`` one level, ``#`` the remaining levels.
+
+    ``#`` is only valid as the final level (the MQTT spec); an interior
+    ``#`` raises ``ValueError`` rather than silently matching nothing.
+    """
+    pattern_parts = pattern.split("/")
+    topic_parts = topic.split("/")
+    if "#" in pattern_parts[:-1]:
+        raise ValueError(f"'#' must be the last level: {pattern!r}")
+    for i, part in enumerate(pattern_parts):
+        if part == "#":
+            return True
+        if i >= len(topic_parts):
+            return False
+        if part != "+" and part != topic_parts[i]:
+            return False
+    return len(pattern_parts) == len(topic_parts)
+
+
+@dataclass(frozen=True)
+class TopicSchema:
+    """Topic construction for one ExaMon deployment."""
+
+    org: str = "unibo"
+    cluster: str = "montecimone"
+
+    def _base(self, hostname: str, plugin: str) -> str:
+        return (f"org/{self.org}/cluster/{self.cluster}/node/{hostname}"
+                f"/plugin/{plugin}/chnl/data")
+
+    def pmu_topic(self, hostname: str, core_id: int, metric: str) -> str:
+        """The pmu_pub per-core metric topic of Table II."""
+        if core_id < 0:
+            raise ValueError(f"negative core id {core_id}")
+        return f"{self._base(hostname, 'pmu_pub')}/core/{core_id}/{metric}"
+
+    def stats_topic(self, hostname: str, metric: str) -> str:
+        """The stats_pub metric topic of Table II (dstat_pub directory)."""
+        return f"{self._base(hostname, 'dstat_pub')}/{metric}"
+
+    def all_nodes_pattern(self, plugin: str = "+") -> str:
+        """Subscription covering every node's data channel."""
+        return (f"org/{self.org}/cluster/{self.cluster}/node/+"
+                f"/plugin/{plugin}/chnl/data/#")
+
+    def parse(self, topic: str) -> dict[str, str]:
+        """Decompose a data topic into its schema fields.
+
+        Returns keys ``org``, ``cluster``, ``node``, ``plugin``,
+        ``metric`` and, for per-core topics, ``core``.
+        """
+        parts = topic.split("/")
+        try:
+            fields = {"org": parts[parts.index("org") + 1],
+                      "cluster": parts[parts.index("cluster") + 1],
+                      "node": parts[parts.index("node") + 1],
+                      "plugin": parts[parts.index("plugin") + 1]}
+            data_idx = parts.index("data")
+        except (ValueError, IndexError) as exc:
+            raise ValueError(f"not an ExaMon data topic: {topic!r}") from exc
+        tail = parts[data_idx + 1:]
+        if not tail:
+            raise ValueError(f"topic has no metric: {topic!r}")
+        if tail[0] == "core":
+            if len(tail) < 3:
+                raise ValueError(f"malformed per-core topic: {topic!r}")
+            fields["core"] = tail[1]
+            fields["metric"] = "/".join(tail[2:])
+        else:
+            fields["metric"] = "/".join(tail)
+        return fields

@@ -1,0 +1,129 @@
+"""The storage backend: a time-series database fed by the broker.
+
+Plays the role of ExaMon's Cassandra/KairosDB backend: it subscribes to
+the cluster-wide data pattern, decodes payloads, and stores (time, value)
+points per topic.  Queries support time ranges, window aggregation
+(mean/max/min/sum/rate) and cross-series alignment — enough surface for
+the Grafana-style dashboards and the batch REST API of §IV-B.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.examon.broker import MQTTBroker, MQTTMessage
+from repro.examon.payload import decode_payload
+from repro.examon.topics import topic_matches
+
+__all__ = ["TimeSeriesDB", "SeriesPoint"]
+
+SeriesPoint = Tuple[float, float]  # (timestamp_s, value)
+
+_AGGREGATORS = {
+    "mean": lambda vals: sum(vals) / len(vals),
+    "max": max,
+    "min": min,
+    "sum": sum,
+    "last": lambda vals: vals[-1],
+}
+
+
+class TimeSeriesDB:
+    """Topic-keyed time series with range queries and aggregation."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, List[SeriesPoint]] = {}
+        self.points_stored = 0
+        self.decode_errors = 0
+
+    # -- ingestion ----------------------------------------------------------
+    def attach(self, broker: MQTTBroker, pattern: str,
+               client_id: str = "tsdb") -> None:
+        """Subscribe this store to a broker pattern."""
+        broker.subscribe(client_id, pattern, self.ingest)
+
+    def ingest(self, message: MQTTMessage) -> None:
+        """Store one MQTT message (malformed payloads are counted, kept out)."""
+        try:
+            value, timestamp = decode_payload(message.payload)
+        except ValueError:
+            self.decode_errors += 1
+            return
+        self.insert(message.topic, timestamp, value)
+
+    def insert(self, topic: str, timestamp_s: float, value: float) -> None:
+        """Direct insertion (plugins under test use this path)."""
+        series = self._series.setdefault(topic, [])
+        if series and timestamp_s < series[-1][0]:
+            # Out-of-order arrival: keep the store sorted.
+            bisect.insort(series, (timestamp_s, value))
+        else:
+            series.append((timestamp_s, value))
+        self.points_stored += 1
+
+    # -- queries ------------------------------------------------------------
+    def topics(self, pattern: str = "#") -> List[str]:
+        """Stored topics matching an MQTT pattern."""
+        return sorted(t for t in self._series if topic_matches(pattern, t))
+
+    def query(self, topic: str, start_s: float = float("-inf"),
+              end_s: float = float("inf")) -> List[SeriesPoint]:
+        """Raw points of one series inside [start, end]."""
+        series = self._series.get(topic, [])
+        lo = bisect.bisect_left(series, (start_s, float("-inf")))
+        hi = bisect.bisect_right(series, (end_s, float("inf")))
+        return series[lo:hi]
+
+    def latest(self, topic: str) -> Optional[SeriesPoint]:
+        """Most recent point of a series, or None."""
+        series = self._series.get(topic)
+        return series[-1] if series else None
+
+    def aggregate(self, topic: str, start_s: float, end_s: float,
+                  window_s: float, how: str = "mean") -> List[SeriesPoint]:
+        """Window aggregation: one point per ``window_s`` bucket.
+
+        Buckets are labelled by their start time; empty buckets are
+        omitted (Grafana's default null handling).
+        """
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        if how not in _AGGREGATORS:
+            raise KeyError(f"unknown aggregator {how!r}; "
+                           f"choose from {sorted(_AGGREGATORS)}")
+        aggregate = _AGGREGATORS[how]
+        points = self.query(topic, start_s, end_s)
+        out: List[SeriesPoint] = []
+        bucket_start = start_s
+        bucket_vals: List[float] = []
+        i = 0
+        while bucket_start < end_s and i <= len(points):
+            bucket_end = bucket_start + window_s
+            bucket_vals = [v for t, v in points if bucket_start <= t < bucket_end]
+            if bucket_vals:
+                out.append((bucket_start, aggregate(bucket_vals)))
+            bucket_start = bucket_end
+            i += 1
+            if bucket_start > (points[-1][0] if points else end_s):
+                break
+        return out
+
+    def rate(self, topic: str, start_s: float = float("-inf"),
+             end_s: float = float("inf")) -> List[SeriesPoint]:
+        """First-difference rate of a (monotone) counter series, per second.
+
+        This is how the dashboards turn the INSTRET counter into the
+        instructions/s heatmap of Fig. 5.  Counter resets (value drops,
+        e.g. a node reboot) yield a zero-rate point rather than a negative
+        spike.
+        """
+        points = self.query(topic, start_s, end_s)
+        out: List[SeriesPoint] = []
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            dt = t1 - t0
+            if dt <= 0:
+                continue
+            out.append((t1, max(v1 - v0, 0.0) / dt))
+        return out

@@ -1,0 +1,84 @@
+"""Hardware substrate: the simulated SiFive Freedom U740 node.
+
+The paper's cluster is built from HiFive Unmatched boards carrying the
+SiFive Freedom U740 SoC; this package models every hardware element the
+paper's experiments touch:
+
+* :mod:`repro.hardware.specs` — datasheet constants (clock, peaks, cache
+  sizes) taken from the U74-MC core-complex manual figures the paper cites.
+* :mod:`repro.hardware.cores` — the four U74 application cores plus the S7
+  monitor core, with per-core performance counters.
+* :mod:`repro.hardware.cache` — the shared L2 with its stream prefetcher.
+* :mod:`repro.hardware.memory` — the DDR4-1866 subsystem (7760 MB/s peak).
+* :mod:`repro.hardware.hpm` — the hardware performance-monitoring counters
+  exposed through perf_events, including the "programmable counters are
+  disabled until a U-Boot patch enables them" behaviour from §IV-B.
+* :mod:`repro.hardware.rails` — the seven SoC power rails plus the two DDR
+  module rails, each with a shunt-resistor current sensor.
+* :mod:`repro.hardware.sensors` — the three hwmon thermal sensors
+  (SoC, motherboard, NVMe) with the sysfs paths of Table IV.
+* :mod:`repro.hardware.nic` — the VSC8541 GbE interface and the Mellanox
+  ConnectX-4 FDR Infiniband HCA (recognised, ping-capable, RDMA-incapable).
+* :mod:`repro.hardware.storage` — 1 TB NVMe system disk and the micro-SD
+  UEFI boot device.
+* :mod:`repro.hardware.board` — the assembled HiFive Unmatched board.
+"""
+
+from repro.hardware.accelerator import (
+    AcceleratorCard,
+    PCIeSlot,
+    RISCV_VECTOR_CARD,
+    SlotError,
+)
+from repro.hardware.board import HiFiveUnmatched
+from repro.hardware.cache import L2Cache, StreamPrefetcher
+from repro.hardware.cores import CoreComplex, S7Core, U74Core
+from repro.hardware.hpm import HPMUnit, PerfEventsInterface
+from repro.hardware.memory import DDR4Subsystem
+from repro.hardware.nic import GigabitEthernet, InfinibandHCA
+from repro.hardware.rails import PowerRail, RailSet, ShuntSensor
+from repro.hardware.sensors import HwmonTree, ThermalSensor
+from repro.hardware.specs import (
+    DDR_SPEC,
+    L2_SPEC,
+    MARCONI100_NODE,
+    ARMIDA_NODE,
+    MONTE_CIMONE_NODE,
+    NodeSpec,
+    U740_SPEC,
+    SoCSpec,
+)
+from repro.hardware.storage import MicroSDCard, NVMeDrive
+
+__all__ = [
+    "ARMIDA_NODE",
+    "AcceleratorCard",
+    "PCIeSlot",
+    "RISCV_VECTOR_CARD",
+    "SlotError",
+    "CoreComplex",
+    "DDR4Subsystem",
+    "DDR_SPEC",
+    "GigabitEthernet",
+    "HPMUnit",
+    "HiFiveUnmatched",
+    "HwmonTree",
+    "InfinibandHCA",
+    "L2Cache",
+    "L2_SPEC",
+    "MARCONI100_NODE",
+    "MONTE_CIMONE_NODE",
+    "MicroSDCard",
+    "NVMeDrive",
+    "NodeSpec",
+    "PerfEventsInterface",
+    "PowerRail",
+    "RailSet",
+    "S7Core",
+    "ShuntSensor",
+    "SoCSpec",
+    "StreamPrefetcher",
+    "ThermalSensor",
+    "U740_SPEC",
+    "U74Core",
+]

@@ -1,0 +1,111 @@
+"""PCIe accelerator cards — the §VI future-work expansion, modelled.
+
+§III: the RV007 blade's dual 250 W supplies leave "abundant power headroom
+for future expansions with hardware accelerators and PCIe Network Card
+connector"; §VI lists "extend Monte Cimone with PCIe RISC-V based
+accelerators" as future work.  This module models that expansion so the
+headroom claim can be checked quantitatively:
+
+* an :class:`AcceleratorCard` with idle/TDP power and a compute peak;
+* PCIe electrical/mechanical compatibility against the board's Gen3 x8
+  slot (x16 connector, 8 lanes wired — §III);
+* offload accounting so an accelerated job's FLOPs can be split between
+  the host FPU and the card.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["AcceleratorCard", "PCIeSlot", "RISCV_VECTOR_CARD", "SlotError"]
+
+
+class SlotError(RuntimeError):
+    """Electrical or mechanical incompatibility with the PCIe slot."""
+
+
+@dataclass(frozen=True)
+class PCIeSlot:
+    """The HiFive Unmatched PCIe slot: Gen3, x16 mechanical, x8 electrical."""
+
+    generation: int = 3
+    mechanical_lanes: int = 16
+    electrical_lanes: int = 8
+
+    def lane_bandwidth_bytes_per_s(self) -> float:
+        """Per-lane payload bandwidth (Gen3 ≈ 0.985 GB/s/lane)."""
+        per_lane = {1: 0.25e9, 2: 0.5e9, 3: 0.985e9, 4: 1.97e9}
+        return per_lane[self.generation]
+
+    def link_bandwidth_bytes_per_s(self, card_lanes: int) -> float:
+        """Negotiated link bandwidth for a card requesting ``card_lanes``."""
+        return (min(card_lanes, self.electrical_lanes)
+                * self.lane_bandwidth_bytes_per_s())
+
+
+@dataclass(frozen=True)
+class AcceleratorCard:
+    """A PCIe accelerator: power envelope, peak and link width."""
+
+    name: str
+    tdp_w: float
+    idle_w: float
+    peak_flops: float
+    lanes: int = 8
+    requires_aux_power: bool = False
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0 or self.tdp_w < self.idle_w:
+            raise ValueError("need 0 <= idle_w <= tdp_w")
+        if self.peak_flops <= 0:
+            raise ValueError("peak must be positive")
+        if self.lanes not in (1, 2, 4, 8, 16):
+            raise ValueError(f"invalid lane count {self.lanes}")
+
+    def power_w(self, utilisation: float) -> float:
+        """Card power at a given compute utilisation."""
+        if not 0.0 <= utilisation <= 1.0:
+            raise ValueError(f"utilisation {utilisation} outside [0, 1]")
+        return self.idle_w + utilisation * (self.tdp_w - self.idle_w)
+
+    def validate_in(self, slot: PCIeSlot, psu_headroom_w: float) -> float:
+        """Check this card fits the slot and PSU budget.
+
+        Returns the negotiated link bandwidth.  Raises :class:`SlotError`
+        when the card cannot be powered from the slot + headroom (the
+        RV007's per-board 250 W supply is the budget the paper highlights).
+        """
+        if self.lanes > slot.mechanical_lanes:
+            raise SlotError(f"{self.name}: x{self.lanes} card does not fit "
+                            f"an x{slot.mechanical_lanes} slot")
+        slot_power_budget = 75.0  # PCIe CEM slot power
+        if not self.requires_aux_power and self.tdp_w > slot_power_budget:
+            raise SlotError(f"{self.name}: {self.tdp_w} W exceeds the 75 W "
+                            f"slot budget without aux power")
+        if self.tdp_w > psu_headroom_w:
+            raise SlotError(f"{self.name}: {self.tdp_w} W exceeds the "
+                            f"remaining PSU headroom {psu_headroom_w:.0f} W")
+        return slot.link_bandwidth_bytes_per_s(self.lanes)
+
+    def offload_speedup(self, host_peak_flops: float,
+                        offload_fraction: float,
+                        accelerator_efficiency: float = 0.5) -> float:
+        """Amdahl-style speedup of offloading part of a workload.
+
+        ``offload_fraction`` of the work runs on the card at
+        ``accelerator_efficiency`` of its peak; the rest stays on the host.
+        """
+        if not 0.0 <= offload_fraction <= 1.0:
+            raise ValueError("offload_fraction outside [0, 1]")
+        card_rate = self.peak_flops * accelerator_efficiency
+        host_time = (1.0 - offload_fraction)
+        card_time = offload_fraction * host_peak_flops / card_rate
+        return 1.0 / max(host_time + card_time, 1e-12)
+
+
+#: A plausible RISC-V vector accelerator of the class §VI anticipates
+#: (EPI-style PCIe card): 64 GFLOP/s DP within a 60 W slot-powered budget.
+RISCV_VECTOR_CARD = AcceleratorCard(
+    name="riscv-vector-accel", tdp_w=60.0, idle_w=9.0,
+    peak_flops=64e9, lanes=8)

@@ -1,0 +1,140 @@
+"""L2 cache and stream-prefetcher model.
+
+§V-A of the paper attributes the poor DDR-resident STREAM result (≤15.5% of
+peak) partly to the L2 prefetcher not being exploited by the upstream
+toolchain, while L2-resident STREAM reaches much higher bandwidth.  The
+model here captures exactly the quantities that discussion turns on:
+
+* working-set classification (fits in L2 vs spills to DDR),
+* a prefetcher with a bounded number of tracked streams per core whose
+  *efficiency* (fraction of demand misses it hides) is a calibration knob,
+* effective bandwidth for a given access pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import CacheSpec, L2_SPEC
+
+__all__ = ["StreamPrefetcher", "L2Cache", "AccessPattern"]
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """A memory access pattern as the bandwidth model sees it.
+
+    Attributes
+    ----------
+    working_set_bytes:
+        Total bytes touched per iteration across all threads.
+    n_streams:
+        Concurrent sequential streams per core (STREAM copy has 2,
+        triad has 3, HPL's DGEMM inner loops have ~3).
+    read_fraction:
+        Fraction of traffic that is reads (write-allocate traffic is
+        added by the model).
+    spatial_locality:
+        Fraction of accesses that hit the same cache line as a
+        predecessor; 1.0 for unit-stride.
+    """
+
+    working_set_bytes: int
+    n_streams: int = 2
+    read_fraction: float = 0.5
+    spatial_locality: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.working_set_bytes < 0:
+            raise ValueError("negative working set")
+        if self.n_streams < 1:
+            raise ValueError("need at least one stream")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(f"read_fraction {self.read_fraction} outside [0, 1]")
+
+
+class StreamPrefetcher:
+    """The U74 L2 prefetcher: tracks up to ``max_streams`` per core.
+
+    ``efficiency`` is the fraction of sequential demand misses whose latency
+    the prefetcher hides when it *is* tracking the stream.  The paper's
+    observation is that with the upstream stack the attained efficiency is
+    far below what eight tracked streams should allow — the default value
+    (0.30) is calibrated so the STREAM.DDR numbers of Table V emerge, and
+    the ablation benchmark raises it to show the headroom the authors
+    predict.
+    """
+
+    def __init__(self, max_streams: int = L2_SPEC.prefetch_streams,
+                 efficiency: float = 0.30) -> None:
+        if max_streams < 0:
+            raise ValueError("negative stream count")
+        if not 0.0 <= efficiency <= 1.0:
+            raise ValueError(f"efficiency {efficiency} outside [0, 1]")
+        self.max_streams = max_streams
+        self.efficiency = efficiency
+
+    def coverage(self, pattern: AccessPattern) -> float:
+        """Fraction of miss latency hidden for ``pattern``.
+
+        When a workload uses more concurrent streams than the prefetcher can
+        track, coverage degrades proportionally; irregular (low spatial
+        locality) patterns are not prefetched at all.
+        """
+        if self.max_streams == 0:
+            return 0.0
+        tracked = min(pattern.n_streams, self.max_streams) / pattern.n_streams
+        return self.efficiency * tracked * pattern.spatial_locality
+
+
+class L2Cache:
+    """The shared 2 MiB L2 of the U740, with its prefetcher.
+
+    The central question every workload model asks is *what bandwidth do I
+    get for this pattern* — answered by :meth:`effective_bandwidth`.
+    """
+
+    def __init__(self, spec: CacheSpec = L2_SPEC,
+                 prefetcher: StreamPrefetcher | None = None) -> None:
+        self.spec = spec
+        self.prefetcher = prefetcher if prefetcher is not None else StreamPrefetcher(
+            max_streams=spec.prefetch_streams)
+
+    def fits(self, pattern: AccessPattern) -> bool:
+        """Whether the working set is L2-resident.
+
+        A small safety margin (90% of capacity) accounts for code,
+        stack and OS lines co-resident in the cache.
+        """
+        return pattern.working_set_bytes <= 0.9 * self.spec.size_bytes
+
+    def hit_rate(self, pattern: AccessPattern) -> float:
+        """Steady-state L2 hit rate for ``pattern``.
+
+        L2-resident sets hit almost always; streaming sets hit only on the
+        within-line reuse implied by spatial locality plus prefetch coverage.
+        """
+        if self.fits(pattern):
+            return 0.995
+        line_reuse = 1.0 - 8.0 / self.spec.line_bytes  # 8-byte doubles
+        base = line_reuse * pattern.spatial_locality
+        return min(0.999, base + (1 - base) * self.prefetcher.coverage(pattern))
+
+    def effective_bandwidth(self, pattern: AccessPattern,
+                            ddr_bandwidth: float) -> float:
+        """Deliverable bandwidth in bytes/s for ``pattern``.
+
+        L2-resident patterns stream from the cache at a kernel-dependent
+        fraction of the L2 port bandwidth; DDR-bound patterns are limited by
+        memory-level parallelism: an in-order core exposes few outstanding
+        misses, and only prefetch coverage recovers bandwidth beyond that
+        latency-bound floor.
+        """
+        if self.fits(pattern):
+            return self.spec.bandwidth_bytes_per_s
+        # Latency-bound floor: an in-order dual-issue core sustains a small
+        # fraction of DDR peak on demand misses alone (the paper's ~13-16%
+        # STREAM result *is* this floor with the prefetcher barely helping).
+        demand_floor = 0.13 * ddr_bandwidth
+        coverage = self.prefetcher.coverage(pattern)
+        return min(ddr_bandwidth, demand_floor + coverage * (ddr_bandwidth - demand_floor))

@@ -1,0 +1,22 @@
+"""Cluster interconnect models.
+
+Monte Cimone's production interconnect is the on-board gigabit Ethernet
+through a top-of-rack switch; two nodes additionally carry Infiniband FDR
+HCAs in the partially-working state §III describes.  This package provides:
+
+* :mod:`repro.network.link` — point-to-point latency/bandwidth pipes with
+  contention.
+* :mod:`repro.network.topology` — the star topology through the GbE switch
+  plus the two-node IB island.
+* :mod:`repro.network.mpi` — an analytic MPI cost model (point-to-point,
+  broadcast, allreduce, ring exchange) used by the HPL scaling model.
+* :mod:`repro.network.infiniband` — fabric-level wrapper over the HCA state
+  machine: ibping works, RDMA raises.
+"""
+
+from repro.network.infiniband import InfinibandFabric
+from repro.network.link import Link
+from repro.network.mpi import MPICostModel
+from repro.network.topology import ClusterTopology, Switch
+
+__all__ = ["ClusterTopology", "InfinibandFabric", "Link", "MPICostModel", "Switch"]

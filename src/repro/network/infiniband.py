@@ -1,0 +1,69 @@
+"""Fabric-level view of the partial Infiniband deployment (§III).
+
+Two Monte Cimone nodes carry ConnectX-4 FDR HCAs.  The fabric object walks
+both HCAs through the bring-up the paper achieved — device detected, driver
+bound, OFED mounted, link active, ``ibping`` succeeding between the two
+boards and between a board and an x86 HPC server — while RDMA verbs remain
+non-functional.  The benchmark harness asserts this exact status snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.hardware.nic import IBState, InfinibandHCA, RDMAUnsupportedError
+
+__all__ = ["InfinibandFabric", "IBStatusReport"]
+
+
+@dataclass(frozen=True)
+class IBStatusReport:
+    """Snapshot of the IB bring-up, one row per §III claim."""
+
+    device_recognised: bool
+    driver_loaded: bool
+    ofed_mounted: bool
+    board_to_board_ping: bool
+    board_to_server_ping: bool
+    rdma_functional: bool
+
+
+class InfinibandFabric:
+    """The two-node FDR island plus an external HPC server port."""
+
+    def __init__(self) -> None:
+        self.hcas: Dict[str, InfinibandHCA] = {
+            "mc-node-1": InfinibandHCA(installed=True),
+            "mc-node-2": InfinibandHCA(installed=True),
+        }
+        #: The x86 HPC server used for the board↔server ping test.
+        self.server_hca = InfinibandHCA(installed=True)
+
+    def bring_up(self) -> None:
+        """Run the bring-up sequence the authors achieved."""
+        for hca in [*self.hcas.values(), self.server_hca]:
+            hca.load_driver()
+            hca.activate_link()
+
+    def status(self) -> IBStatusReport:
+        """The §III status snapshot."""
+        boards = list(self.hcas.values())
+        board_ping = (len(boards) == 2 and boards[0].ibping(boards[1]))
+        server_ping = bool(boards) and boards[0].ibping(self.server_hca)
+        driver_ok = all(h.state in (IBState.DRIVER_LOADED, IBState.LINK_ACTIVE)
+                        for h in boards)
+        rdma_ok = True
+        try:
+            if len(boards) == 2:
+                boards[0].rdma_write(boards[1], 4096)
+        except RDMAUnsupportedError:
+            rdma_ok = False
+        return IBStatusReport(
+            device_recognised=all(h.installed for h in boards),
+            driver_loaded=driver_ok,
+            ofed_mounted=driver_ok,
+            board_to_board_ping=board_ping,
+            board_to_server_ping=server_ping,
+            rdma_functional=rdma_ok,
+        )

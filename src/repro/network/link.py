@@ -1,0 +1,58 @@
+"""Point-to-point link model with serialisation and contention.
+
+A :class:`Link` is the basic pipe of the interconnect model: messages take
+``latency + size/bandwidth`` and the link tracks cumulative traffic for the
+monitoring plugins (stats_pub's ``net_total.recv``/``net_total.send``).
+Contention is modelled by an efficiency factor under concurrent flows
+rather than per-packet queueing — adequate because the experiments the
+model supports (HPL collectives) synchronise at phase boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Link"]
+
+
+@dataclass
+class Link:
+    """A duplex link between two endpoints.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"mc-node-1<->switch"``.
+    bandwidth_bytes_per_s:
+        Payload bandwidth after protocol overhead (GbE with TCP/MPI
+        overhead delivers ~117 MB/s of the 125 MB/s raw).
+    latency_s:
+        One-way small-message latency, including the software stack
+        (~50 µs for MPI-over-TCP-over-GbE on these cores).
+    """
+
+    name: str
+    bandwidth_bytes_per_s: float = 117e6
+    latency_s: float = 50e-6
+    bytes_carried: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency cannot be negative")
+
+    def transfer_time(self, n_bytes: int, concurrent_flows: int = 1) -> float:
+        """Time to move ``n_bytes`` with ``concurrent_flows`` sharing the pipe."""
+        if n_bytes < 0:
+            raise ValueError("negative message size")
+        if concurrent_flows < 1:
+            raise ValueError("need at least one flow")
+        effective_bw = self.bandwidth_bytes_per_s / concurrent_flows
+        return self.latency_s + n_bytes / effective_bw
+
+    def account(self, n_bytes: int) -> None:
+        """Record carried traffic for the monitoring counters."""
+        if n_bytes < 0:
+            raise ValueError("negative byte count")
+        self.bytes_carried += n_bytes

@@ -1,0 +1,91 @@
+"""Analytic MPI collective cost model over the cluster topology.
+
+The HPL scaling model (Fig. 2) needs the cost of the communication inside
+a distributed LU factorisation: panel broadcasts along process rows, row
+swaps (pdlaswp) along columns, and the solve's pipelined exchanges.  This
+module provides the standard LogP-flavoured collective costs over the
+star-topology GbE network:
+
+* point-to-point:     ``L + m/B``
+* broadcast (binomial tree): ``ceil(log2 P) * (L + m/B)``
+* allreduce (recursive doubling): ``2*ceil(log2 P) * (L + m/B)``
+* ring exchange: ``(P-1) * (L + m/(P*B))``
+
+where ``L`` is end-to-end latency, ``B`` payload bandwidth and ``m`` the
+message size.  The model deliberately ignores overlap — upstream HPL on an
+unoptimised stack gets essentially no compute/communication overlap, which
+is the regime the paper measured.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.network.topology import ClusterTopology
+
+__all__ = ["MPICostModel"]
+
+
+@dataclass
+class MPICostModel:
+    """Collective costs over a given topology.
+
+    Parameters
+    ----------
+    topology:
+        The cluster network; per-message latency and payload bandwidth are
+        derived from its worst link and switch latency.
+    software_overhead_s:
+        Per-message MPI software cost on the host CPU; dominated by the
+        in-order U74 running the TCP stack (calibrated: 120 µs/message —
+        these cores run the whole GbE protocol path in software).
+    """
+
+    topology: ClusterTopology
+    software_overhead_s: float = 120e-6
+
+    def _link_params(self) -> tuple[float, float]:
+        links = self.topology.links.values()
+        bandwidth = min(l.bandwidth_bytes_per_s for l in links)
+        latency = (2 * max(l.latency_s for l in links)
+                   + self.topology.switch.port_to_port_latency_s
+                   + self.software_overhead_s)
+        return latency, bandwidth
+
+    def point_to_point(self, n_bytes: int) -> float:
+        """One message between two ranks on different nodes."""
+        latency, bandwidth = self._link_params()
+        return latency + n_bytes / bandwidth
+
+    def broadcast(self, n_bytes: int, n_ranks: int) -> float:
+        """Binomial-tree broadcast to ``n_ranks`` participants."""
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        if n_ranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(n_ranks))
+        return rounds * self.point_to_point(n_bytes)
+
+    def allreduce(self, n_bytes: int, n_ranks: int) -> float:
+        """Recursive-doubling allreduce."""
+        if n_ranks <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(n_ranks))
+        return 2 * rounds * self.point_to_point(n_bytes)
+
+    def ring_exchange(self, n_bytes_total: int, n_ranks: int) -> float:
+        """Ring-based all-to-all of ``n_bytes_total`` spread over ranks."""
+        if n_ranks <= 1:
+            return 0.0
+        latency, bandwidth = self._link_params()
+        chunk = n_bytes_total / n_ranks
+        return (n_ranks - 1) * (latency + chunk / bandwidth)
+
+    def scatter(self, n_bytes_total: int, n_ranks: int) -> float:
+        """Linear scatter from one root (the scheme LAM-era stacks use)."""
+        if n_ranks <= 1:
+            return 0.0
+        latency, bandwidth = self._link_params()
+        per_rank = n_bytes_total / n_ranks
+        return (n_ranks - 1) * (latency + per_rank / bandwidth)

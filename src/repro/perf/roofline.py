@@ -1,0 +1,81 @@
+"""Roofline model over a node spec.
+
+Not a figure in the paper, but the natural frame for its §V-A discussion:
+HPL sits far right of the ridge (compute-bound, 46.5% of the FLOP roof),
+STREAM sits far left (bandwidth-bound, 15.5% of the memory roof), and
+QE-LAX sits in between.  The analysis layer uses this to sanity-check that
+each benchmark's attained point lies under both roofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hardware.specs import MONTE_CIMONE_NODE, NodeSpec
+
+__all__ = ["Roofline", "RooflinePoint"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel on the roofline: intensity (FLOP/byte) and GFLOP/s."""
+
+    label: str
+    arithmetic_intensity: float
+    attained_gflops: float
+
+    def __post_init__(self) -> None:
+        if self.arithmetic_intensity < 0:
+            raise ValueError("negative arithmetic intensity")
+        if self.attained_gflops < 0:
+            raise ValueError("negative throughput")
+
+
+class Roofline:
+    """The classic two-roof model for one node."""
+
+    def __init__(self, node: NodeSpec = MONTE_CIMONE_NODE) -> None:
+        self.node = node
+
+    @property
+    def peak_gflops(self) -> float:
+        """The flat compute roof."""
+        return self.node.peak_flops / 1e9
+
+    @property
+    def peak_bandwidth_gb_s(self) -> float:
+        """Slope of the memory roof."""
+        return self.node.peak_bandwidth / 1e9
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Arithmetic intensity where the roofs meet, FLOP/byte."""
+        return self.node.peak_flops / self.node.peak_bandwidth
+
+    def attainable_gflops(self, intensity: float) -> float:
+        """Roofline ceiling at a given arithmetic intensity."""
+        if intensity < 0:
+            raise ValueError("negative arithmetic intensity")
+        return min(self.peak_gflops, self.peak_bandwidth_gb_s * intensity)
+
+    def is_compute_bound(self, intensity: float) -> bool:
+        """Whether a kernel at ``intensity`` is limited by the FLOP roof."""
+        return intensity >= self.ridge_intensity
+
+    def check_point(self, point: RooflinePoint) -> bool:
+        """Whether an attained point lies under the roofline (valid)."""
+        return point.attained_gflops <= self.attainable_gflops(
+            point.arithmetic_intensity) * (1.0 + 1e-9)
+
+    def paper_points(self) -> List[RooflinePoint]:
+        """The three §V-A benchmarks as roofline points on Monte Cimone."""
+        # HPL at N=40704, NB=192: intensity ~ NB/24 for blocked LU ≈ 8 F/B.
+        # STREAM triad: 2 FLOPs / 24 bytes ≈ 0.083 F/B at 1122 MB/s.
+        # QE LAX: blocked rotations ≈ 1.5 F/B at 1.44 GFLOP/s.
+        return [
+            RooflinePoint("hpl", 8.0, 1.86),
+            RooflinePoint("stream_triad", 2.0 / 24.0,
+                          1122e6 * (2.0 / 24.0) / 1e9),
+            RooflinePoint("qe_lax", 1.5, 1.44),
+        ]

@@ -1,0 +1,58 @@
+"""Strong-scaling metrics for the Fig. 2 experiment.
+
+Fig. 2 plots relative speedup for the HPL strong-scaling runs on 1–8
+nodes, annotating each point with attained GFLOP/s.  The two headline
+derived quantities (§V-A): at 8 nodes the machine reaches 39.5% of its
+aggregate theoretical peak, and 85% of the peak extrapolated from perfect
+linear scaling of the single-node result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.benchmarks.hpl import HPLModel, HPLResult
+
+__all__ = ["ScalingPoint", "strong_scaling_table"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One node-count point of the strong-scaling curve."""
+
+    n_nodes: int
+    gflops: float
+    gflops_std: float
+    runtime_s: float
+    speedup: float                 # vs the single-node point
+    fraction_of_linear: float      # speedup / n_nodes
+    fraction_of_peak: float        # gflops / aggregate peak
+
+
+def strong_scaling_table(model: HPLModel,
+                         node_counts: tuple[int, ...] = (1, 2, 4, 8),
+                         seed: int = 2022) -> List[ScalingPoint]:
+    """Run the Fig. 2 experiment and derive its metrics.
+
+    Returns one :class:`ScalingPoint` per node count, ordered; the first
+    entry is the single-node baseline with speedup 1.0 by construction.
+    """
+    if 1 not in node_counts:
+        raise ValueError("strong scaling needs the single-node baseline")
+    results: Dict[int, HPLResult] = model.strong_scaling(node_counts, seed=seed)
+    base = results[1]
+    points = []
+    for n_nodes in sorted(results):
+        result = results[n_nodes]
+        speedup = result.gflops.mean / base.gflops.mean
+        points.append(ScalingPoint(
+            n_nodes=n_nodes,
+            gflops=result.gflops.mean,
+            gflops_std=result.gflops.std,
+            runtime_s=result.runtime_s.mean,
+            speedup=speedup,
+            fraction_of_linear=speedup / n_nodes,
+            fraction_of_peak=result.efficiency,
+        ))
+    return points

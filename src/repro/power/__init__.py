@@ -1,0 +1,43 @@
+"""Power models for the Monte Cimone node.
+
+Three layers:
+
+* :mod:`repro.power.model` — the calibrated per-rail power model.  Its
+  structure follows the paper's own decomposition of the core rail into
+  leakage (0.984 W), clock-tree + dynamic (1.577 W) and OS baseline
+  (0.514 W), and its activity slopes are calibrated so each Table VI column
+  is reproduced by the corresponding workload profile.
+* :mod:`repro.power.boot` — the boot-phase power sequence behind Fig. 4
+  (regions R1/R2/R3).
+* :mod:`repro.power.traces` — synthesis of the 1 ms-window power traces of
+  Fig. 3 and Fig. 4.
+"""
+
+from repro.power.boot import BOOT_PHASES, BootPhase, BootPowerModel
+from repro.power.model import (
+    IDLE_PROFILE,
+    HPL_PROFILE,
+    QE_PROFILE,
+    STREAM_DDR_PROFILE,
+    STREAM_L2_PROFILE,
+    NodePhase,
+    RailPowerModel,
+    WorkloadProfile,
+)
+from repro.power.traces import PowerTrace, TraceSynthesizer
+
+__all__ = [
+    "BOOT_PHASES",
+    "BootPhase",
+    "BootPowerModel",
+    "HPL_PROFILE",
+    "IDLE_PROFILE",
+    "NodePhase",
+    "PowerTrace",
+    "QE_PROFILE",
+    "RailPowerModel",
+    "STREAM_DDR_PROFILE",
+    "STREAM_L2_PROFILE",
+    "TraceSynthesizer",
+    "WorkloadProfile",
+]

@@ -1,0 +1,55 @@
+"""sacct-style accounting output, with the energy column.
+
+Combines the controller's job records with the
+:class:`~repro.power.energy.JobEnergyAccounting` ledger into the
+fixed-width accounting listing operators pull after a benchmarking
+campaign (real SLURM exposes the same through its energy plugin).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.power.energy import JobEnergyAccounting
+from repro.slurm.job import JobState
+from repro.slurm.scheduler import SlurmController
+
+__all__ = ["render_sacct"]
+
+_HEADER = (f"{'JobID':>8} {'JobName':>14} {'User':>8} {'NNodes':>6} "
+           f"{'Elapsed':>9} {'State':>10} {'Energy(kJ)':>10} {'AvgW':>7}")
+
+
+def _format_elapsed(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--:--:--"
+    total = int(round(seconds))
+    return f"{total // 3600:02d}:{total % 3600 // 60:02d}:{total % 60:02d}"
+
+
+def render_sacct(controller: SlurmController,
+                 energy: Optional[JobEnergyAccounting] = None,
+                 user: Optional[str] = None) -> str:
+    """Render terminal accounting rows for finished jobs.
+
+    Energy columns show ``--`` when no accounting ledger covers a job
+    (e.g. jobs on nodes the controller has no hardware binding for).
+    """
+    rows: List[str] = [_HEADER, "-" * len(_HEADER)]
+    for job in controller.jobs.values():
+        if not job.state.is_terminal:
+            continue
+        if user is not None and job.user != user:
+            continue
+        record = energy.record_for(job.job_id) if energy is not None else None
+        energy_text = f"{record.energy_j / 1e3:10.2f}" if record else \
+            f"{'--':>10}"
+        watts_text = f"{record.mean_power_w:7.2f}" if record else f"{'--':>7}"
+        rows.append(
+            f"{job.job_id:>8} {job.name:>14.14} {job.user:>8} "
+            f"{len(job.allocated_nodes):>6} "
+            f"{_format_elapsed(job.elapsed_s):>9} "
+            f"{job.state.name:>10} {energy_text} {watts_text}")
+    if len(rows) == 2:
+        rows.append("(no finished jobs)")
+    return "\n".join(rows)

@@ -1,0 +1,114 @@
+"""sbatch batch-script parsing.
+
+Production users submit shell scripts with ``#SBATCH`` directives; this
+module parses the subset the Monte Cimone queue uses so the examples can
+submit realistic scripts:
+
+* ``--job-name`` / ``-J``
+* ``--nodes`` / ``-N``
+* ``--time`` / ``-t``  (``[days-]HH:MM:SS``, ``MM:SS`` or minutes)
+* ``--partition`` / ``-p``
+
+Unknown directives are collected (not rejected) — real sbatch tolerates
+plenty of options slurmctld features we do not model.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["BatchScript", "parse_batch_script", "parse_time_limit"]
+
+_DIRECTIVE_RE = re.compile(r"^#SBATCH\s+(.*)$")
+
+
+def parse_time_limit(text: str) -> float:
+    """Parse a SLURM time specification into seconds.
+
+    Accepted forms (as in real sbatch): ``minutes``, ``MM:SS``,
+    ``HH:MM:SS``, ``days-HH[:MM[:SS]]``.
+    """
+    text = text.strip()
+    days = 0
+    if "-" in text:
+        day_text, text = text.split("-", 1)
+        days = int(day_text)
+        if ":" not in text:
+            text += ":00:00"  # "days-HH"
+    parts = text.split(":")
+    if not 1 <= len(parts) <= 3 or not all(p.isdigit() for p in parts):
+        raise ValueError(f"unparseable time limit {text!r}")
+    if len(parts) == 1 and days == 0:
+        return float(int(parts[0]) * 60)  # bare minutes
+    while len(parts) < 3:
+        parts.insert(0, "0")
+    hours, minutes, seconds = (int(p) for p in parts)
+    return float(days * 86400 + hours * 3600 + minutes * 60 + seconds)
+
+
+@dataclass
+class BatchScript:
+    """A parsed batch script."""
+
+    job_name: str = "sbatch"
+    n_nodes: int = 1
+    time_limit_s: Optional[float] = None
+    partition: Optional[str] = None
+    command_lines: List[str] = field(default_factory=list)
+    unknown_directives: List[str] = field(default_factory=list)
+
+
+_OPTION_ALIASES = {
+    "-J": "--job-name", "-N": "--nodes", "-t": "--time", "-p": "--partition",
+}
+
+
+def _split_directive(text: str) -> Dict[str, str]:
+    """Split one #SBATCH argument string into option → value pairs."""
+    options: Dict[str, str] = {}
+    tokens = text.split()
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        if "=" in token and token.startswith("--"):
+            key, _, value = token.partition("=")
+            options[key] = value
+            i += 1
+        elif token in _OPTION_ALIASES or token.startswith("--"):
+            key = _OPTION_ALIASES.get(token, token)
+            if i + 1 >= len(tokens):
+                raise ValueError(f"directive {token!r} missing a value")
+            options[key] = tokens[i + 1]
+            i += 2
+        else:
+            raise ValueError(f"unparseable sbatch token {token!r}")
+    return options
+
+
+def parse_batch_script(text: str) -> BatchScript:
+    """Parse a batch script's directives and payload commands."""
+    script = BatchScript()
+    if not text.lstrip().startswith("#!"):
+        raise ValueError("batch script must start with a shebang line")
+    for line in text.splitlines()[1:]:
+        stripped = line.strip()
+        match = _DIRECTIVE_RE.match(stripped)
+        if match:
+            for key, value in _split_directive(match.group(1)).items():
+                if key == "--job-name":
+                    script.job_name = value
+                elif key == "--nodes":
+                    script.n_nodes = int(value)
+                    if script.n_nodes < 1:
+                        raise ValueError("--nodes must be >= 1")
+                elif key == "--time":
+                    script.time_limit_s = parse_time_limit(value)
+                elif key == "--partition":
+                    script.partition = value
+                else:
+                    script.unknown_directives.append(f"{key}={value}")
+        elif stripped and not stripped.startswith("#"):
+            script.command_lines.append(stripped)
+    return script

@@ -1,0 +1,88 @@
+"""Job records and the SLURM job state machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.power.model import IDLE_PROFILE, WorkloadProfile
+
+__all__ = ["Job", "JobState"]
+
+
+class JobState(Enum):
+    """The SLURM states the model distinguishes."""
+
+    PENDING = "PD"
+    RUNNING = "R"
+    COMPLETED = "CD"
+    FAILED = "F"
+    CANCELLED = "CA"
+    TIMEOUT = "TO"
+    NODE_FAIL = "NF"
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the job has left the system."""
+        return self not in (JobState.PENDING, JobState.RUNNING)
+
+
+@dataclass
+class Job:
+    """One batch job.
+
+    ``profile`` describes the workload's hardware activity (it drives the
+    power/thermal/monitoring substrates while the job runs); ``duration_s``
+    is the modelled execution time on the requested allocation.
+    """
+
+    job_id: int
+    name: str
+    user: str
+    n_nodes: int
+    duration_s: float
+    time_limit_s: float = float("inf")
+    partition: str = "compute"
+    profile: WorkloadProfile = IDLE_PROFILE
+    state: JobState = JobState.PENDING
+    #: ``--dependency=afterok:<id>`` semantics: this job may start only
+    #: after every listed job COMPLETED; if any of them fails, this job is
+    #: cancelled as DependencyNeverSatisfied.
+    depends_on: List[int] = field(default_factory=list)
+    #: Set by scancel on a running job; the run process observes it at its
+    #: next execution slice and winds the job down cleanly.
+    cancel_requested: bool = False
+    submit_time_s: float = 0.0
+    start_time_s: Optional[float] = None
+    end_time_s: Optional[float] = None
+    allocated_nodes: List[str] = field(default_factory=list)
+    exit_reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("a job needs at least one node")
+        if self.duration_s < 0:
+            raise ValueError("negative duration")
+        if self.time_limit_s <= 0:
+            raise ValueError("time limit must be positive")
+
+    @property
+    def wait_time_s(self) -> Optional[float]:
+        """Queue wait, once started."""
+        if self.start_time_s is None:
+            return None
+        return self.start_time_s - self.submit_time_s
+
+    @property
+    def elapsed_s(self) -> Optional[float]:
+        """Wall time used, once finished."""
+        if self.start_time_s is None or self.end_time_s is None:
+            return None
+        return self.end_time_s - self.start_time_s
+
+    def squeue_row(self) -> str:
+        """One squeue-format line."""
+        nodes = ",".join(self.allocated_nodes) if self.allocated_nodes else "(none)"
+        return (f"{self.job_id:>8} {self.partition:>9} {self.name:>12.12} "
+                f"{self.user:>8} {self.state.value:>2} {self.n_nodes:>5} {nodes}")

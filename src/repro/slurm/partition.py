@@ -1,0 +1,94 @@
+"""Partitions and per-node scheduler state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+__all__ = ["NodeAllocState", "SlurmNodeInfo", "Partition"]
+
+
+class NodeAllocState(Enum):
+    """Scheduler-visible node states (sinfo vocabulary)."""
+
+    IDLE = "idle"
+    ALLOCATED = "alloc"
+    DOWN = "down"
+    DRAINED = "drain"
+
+
+@dataclass
+class SlurmNodeInfo:
+    """The controller's record for one compute node."""
+
+    hostname: str
+    n_cores: int = 4
+    state: NodeAllocState = NodeAllocState.IDLE
+    running_job: Optional[int] = None
+    reason: str = ""
+
+    @property
+    def schedulable(self) -> bool:
+        """Whether new work may be placed here."""
+        return self.state is NodeAllocState.IDLE
+
+    def allocate(self, job_id: int) -> None:
+        """Mark the node allocated to a job."""
+        if not self.schedulable:
+            raise RuntimeError(f"{self.hostname} is {self.state.value}, "
+                               f"cannot allocate")
+        self.state = NodeAllocState.ALLOCATED
+        self.running_job = job_id
+
+    def release(self) -> None:
+        """Return the node to the idle pool (unless down/drained)."""
+        if self.state is NodeAllocState.ALLOCATED:
+            self.state = NodeAllocState.IDLE
+        self.running_job = None
+
+    def mark_down(self, reason: str) -> None:
+        """Take the node out of service (hardware failure, thermal trip)."""
+        self.state = NodeAllocState.DOWN
+        self.reason = reason
+        self.running_job = None
+
+    def resume(self) -> None:
+        """Return a down/drained node to service."""
+        self.state = NodeAllocState.IDLE
+        self.reason = ""
+
+
+@dataclass
+class Partition:
+    """A named set of nodes with a default time limit."""
+
+    name: str
+    nodes: Dict[str, SlurmNodeInfo] = field(default_factory=dict)
+    max_time_s: float = 86400.0
+    default: bool = False
+
+    def add_node(self, info: SlurmNodeInfo) -> None:
+        """Attach a node to the partition."""
+        if info.hostname in self.nodes:
+            raise ValueError(f"{info.hostname} already in partition {self.name}")
+        self.nodes[info.hostname] = info
+
+    def idle_nodes(self) -> List[SlurmNodeInfo]:
+        """Schedulable nodes, in hostname order (deterministic placement)."""
+        return sorted((n for n in self.nodes.values() if n.schedulable),
+                      key=lambda n: n.hostname)
+
+    def n_idle(self) -> int:
+        """Count of schedulable nodes."""
+        return sum(1 for n in self.nodes.values() if n.schedulable)
+
+    def sinfo_rows(self) -> List[str]:
+        """sinfo-format summary: one row per (state) group."""
+        by_state: Dict[NodeAllocState, List[str]] = {}
+        for node in sorted(self.nodes.values(), key=lambda n: n.hostname):
+            by_state.setdefault(node.state, []).append(node.hostname)
+        return [
+            f"{self.name:>10} {state.value:>6} {len(hosts):>5} {','.join(hosts)}"
+            for state, hosts in sorted(by_state.items(), key=lambda kv: kv[0].value)
+        ]

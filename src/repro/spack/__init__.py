@@ -1,0 +1,51 @@
+"""Spack-style package manager model.
+
+§IV: the full user-facing stack is deployed with Spack 0.17.0 and exposed
+through environment modules; architecture targeting comes from archspec,
+whose ``linux-sifive-u74mc`` triple already worked unmodified.  This
+package implements the Spack machinery the paper's deployment exercised:
+
+* :mod:`repro.spack.version` — version objects and constraint ranges;
+* :mod:`repro.spack.spec` — the spec language (``name@ver +variant
+  ^dependency target=u74mc``), abstract and concrete specs;
+* :mod:`repro.spack.package` — package definitions (versions, variants,
+  dependencies);
+* :mod:`repro.spack.repo` — the builtin repository with the Table I stack
+  and its transitive dependencies;
+* :mod:`repro.spack.archspec` — microarchitecture targets and toolchain
+  flags, including ``u74mc``;
+* :mod:`repro.spack.concretizer` — abstract spec → concrete dependency DAG;
+* :mod:`repro.spack.installer` — topological build/install into the NFS
+  software tree, with module generation;
+* :mod:`repro.spack.environment` — the Monte Cimone production
+  environment: exactly the Table I package list.
+"""
+
+from repro.spack.archspec import ARCHSPEC_TARGETS, Microarchitecture, detect_target
+from repro.spack.concretizer import ConcretizationError, Concretizer
+from repro.spack.environment import MONTE_CIMONE_STACK, SpackEnvironment
+from repro.spack.installer import InstallError, Installer, InstallRecord
+from repro.spack.package import Dependency, PackageDefinition
+from repro.spack.repo import builtin_repo
+from repro.spack.spec import Spec, SpecParseError
+from repro.spack.version import Version, VersionRange
+
+__all__ = [
+    "ARCHSPEC_TARGETS",
+    "ConcretizationError",
+    "Concretizer",
+    "Dependency",
+    "InstallError",
+    "InstallRecord",
+    "Installer",
+    "MONTE_CIMONE_STACK",
+    "Microarchitecture",
+    "PackageDefinition",
+    "SpackEnvironment",
+    "Spec",
+    "SpecParseError",
+    "Version",
+    "VersionRange",
+    "builtin_repo",
+    "detect_target",
+]

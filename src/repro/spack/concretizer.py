@@ -1,0 +1,125 @@
+"""The concretizer: abstract spec → concrete dependency DAG.
+
+Implements the Spack 0.17 "original concretizer" behaviour class:
+
+* versions: newest version satisfying all constraints wins;
+* dependencies: recipe edges are followed recursively; user ``^spec``
+  constraints are merged into the matching dependency node;
+* unification: one node per package name in a DAG (the classic Spack
+  invariant), so conflicting constraints on a shared dependency are a
+  :class:`ConcretizationError`;
+* defaults: compiler and target propagate from the root (falling back to
+  site defaults: gcc@10.3.0 on u74mc — the Monte Cimone deployment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.spack.package import PackageDefinition
+from repro.spack.repo import Repository, builtin_repo
+from repro.spack.spec import Spec
+from repro.spack.version import VersionRange
+
+__all__ = ["Concretizer", "ConcretizationError"]
+
+
+class ConcretizationError(RuntimeError):
+    """Unsatisfiable constraints, unknown packages, dependency cycles."""
+
+
+class Concretizer:
+    """Resolves abstract specs against a repository."""
+
+    DEFAULT_COMPILER = "gcc"
+    DEFAULT_COMPILER_VERSION = "10.3.0"
+    DEFAULT_TARGET = "u74mc"
+
+    def __init__(self, repo: Optional[Repository] = None,
+                 default_target: str = DEFAULT_TARGET,
+                 default_compiler_version: str = DEFAULT_COMPILER_VERSION) -> None:
+        self.repo = repo if repo is not None else builtin_repo()
+        self.default_target = default_target
+        self.default_compiler_version = default_compiler_version
+
+    def concretize(self, abstract: Spec) -> Spec:
+        """Produce a fully concrete copy of ``abstract``.
+
+        Raises
+        ------
+        ConcretizationError
+            On unknown packages, version conflicts, or cycles.
+        """
+        user_constraints = dict(abstract.dependencies)
+        nodes: Dict[str, Spec] = {}
+        self._build_node(abstract, user_constraints, nodes, stack=())
+        root = nodes[abstract.name]
+        # Unused ^constraints indicate a typo or a package outside the DAG.
+        for name in user_constraints:
+            if name not in nodes:
+                raise ConcretizationError(
+                    f"^{name} does not appear in {abstract.name}'s "
+                    f"dependency graph")
+        return root
+
+    # -- internals ---------------------------------------------------------
+    def _build_node(self, request: Spec, user: Dict[str, Spec],
+                    nodes: Dict[str, Spec], stack: tuple[str, ...]) -> Spec:
+        name = request.name
+        if name in stack:
+            cycle = " -> ".join(stack + (name,))
+            raise ConcretizationError(f"dependency cycle: {cycle}")
+        try:
+            definition = self.repo.get(name)
+        except KeyError as exc:
+            raise ConcretizationError(str(exc)) from exc
+
+        if name in nodes:
+            node = nodes[name]
+            self._merge(node, request, definition)
+            return node
+
+        node = Spec(name=name)
+        nodes[name] = node
+        self._merge(node, request, definition)
+        if name in user and user[name] is not request:
+            self._merge(node, user[name], definition)
+
+        # Fill defaults.
+        if node.target is None:
+            node.target = self.default_target
+        if node.compiler is None and name != "gcc":
+            node.compiler = self.DEFAULT_COMPILER
+            node.compiler_version = VersionRange.exact(
+                self.default_compiler_version)
+        for variant, default in definition.variants.items():
+            node.variants.setdefault(variant, default)
+
+        # Pin the version: newest satisfying the accumulated range.
+        version = definition.preferred_version(node.versions)
+        if version is None:
+            raise ConcretizationError(
+                f"{name}: no version satisfies {node.versions} "
+                f"(available: {', '.join(definition.versions)})")
+        node.versions = VersionRange.exact(version)
+
+        # Recurse into recipe dependencies (build deps too: Spack installs
+        # them, they just stay out of the link closure).
+        for dep in definition.dependencies:
+            dep_request = Spec(name=dep.name, versions=dep.constraint,
+                               target=node.target, compiler=node.compiler,
+                               compiler_version=node.compiler_version)
+            child = self._build_node(dep_request, user, nodes, stack + (name,))
+            node.dependencies[dep.name] = child
+        return node
+
+    def _merge(self, node: Spec, request: Spec,
+               definition: PackageDefinition) -> None:
+        for variant in request.variants:
+            if variant not in definition.variants:
+                raise ConcretizationError(
+                    f"{node.name} has no variant {variant!r}")
+        try:
+            node.constrain(request)
+        except ValueError as exc:
+            raise ConcretizationError(str(exc)) from exc

@@ -1,0 +1,56 @@
+"""Spack-style display helpers: ``spack spec`` trees and ``spack find``.
+
+Rendering utilities the examples and CLI use to show concrete DAGs the
+way Spack users expect to see them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.spack.installer import Installer
+from repro.spack.spec import Spec
+
+__all__ = ["render_spec_tree", "render_find"]
+
+
+def render_spec_tree(spec: Spec, indent: int = 0,
+                     _seen: set | None = None) -> str:
+    """Render a concrete spec as Spack's indented dependency tree.
+
+    Shared dependencies are printed once at their first occurrence and
+    referenced by name afterwards (Spack prints them fully each time; the
+    compact form keeps deep DAGs readable in terminal sessions).
+    """
+    seen = _seen if _seen is not None else set()
+    pad = "    " * indent
+    version = f"@{spec.versions}" if spec.versions.exact_version else ""
+    line = f"{pad}{spec.name}{version}"
+    if spec.target:
+        line += f" target={spec.target}"
+    if spec.name in seen:
+        return line + "  (see above)"
+    seen.add(spec.name)
+    lines = [line]
+    for name in sorted(spec.dependencies):
+        lines.append(render_spec_tree(spec.dependencies[name], indent + 1,
+                                      _seen=seen))
+    return "\n".join(lines)
+
+
+def render_find(installer: Installer) -> str:
+    """``spack find``-style listing of the install database."""
+    records = installer.records()
+    if not records:
+        return "==> 0 installed packages"
+    lines = [f"==> {len(records)} installed packages"]
+    by_target: dict[str, List[str]] = {}
+    for record in records:
+        target = record.prefix.split("/")[3] if record.prefix.count("/") >= 3 \
+            else "unknown"
+        by_target.setdefault(target, []).append(
+            f"{record.name}@{record.version}")
+    for target in sorted(by_target):
+        lines.append(f"-- linux-{target} / gcc ------------------------")
+        lines.append("  ".join(sorted(by_target[target])))
+    return "\n".join(lines)

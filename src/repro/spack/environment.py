@@ -1,0 +1,86 @@
+"""The Monte Cimone production environment: the Table I stack.
+
+A Spack environment is a named list of root specs concretized and
+installed together.  :data:`MONTE_CIMONE_STACK` is Table I verbatim —
+the nine user-facing packages at the paper's versions; installing the
+environment pulls in the transitive dependencies (omitted from the
+paper's table "for brevity") and registers one module per package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.spack.concretizer import Concretizer
+from repro.spack.installer import Installer, InstallRecord
+from repro.spack.spec import Spec
+
+__all__ = ["MONTE_CIMONE_STACK", "SpackEnvironment"]
+
+#: Table I of the paper: package → version.
+MONTE_CIMONE_STACK: Dict[str, str] = {
+    "gcc": "10.3.0",
+    "openmpi": "4.1.1",
+    "openblas": "0.3.18",
+    "fftw": "3.3.10",
+    "netlib-lapack": "3.9.1",
+    "netlib-scalapack": "2.1.0",
+    "hpl": "2.3",
+    "stream": "5.10",
+    "quantum-espresso": "6.8",
+}
+
+
+@dataclass
+class SpackEnvironment:
+    """A spack.yaml-style environment."""
+
+    name: str
+    root_specs: List[str] = field(default_factory=list)
+
+    @classmethod
+    def monte_cimone(cls) -> "SpackEnvironment":
+        """The paper's production environment (Table I, pinned versions).
+
+        The gcc root additionally pins binutils@2.36.1 — the assembler
+        that shipped with the deployment and that §V-A notes cannot yet
+        assemble the Zba/Zbb extensions (support lands in 2.37).
+        """
+        specs = []
+        for name, version in MONTE_CIMONE_STACK.items():
+            spec = f"{name}@{version} target=u74mc"
+            if name == "gcc":
+                spec += " ^binutils@2.36.1"
+            specs.append(spec)
+        return cls(name="montecimone-production", root_specs=specs)
+
+    def add(self, spec_string: str) -> None:
+        """``spack add``: append a root spec."""
+        Spec.parse(spec_string)  # validate eagerly
+        self.root_specs.append(spec_string)
+
+    def concretize(self, concretizer: Optional[Concretizer] = None) -> List[Spec]:
+        """Concretize every root spec."""
+        concretizer = concretizer if concretizer is not None else Concretizer()
+        return [concretizer.concretize(Spec.parse(text))
+                for text in self.root_specs]
+
+    def install(self, installer: Optional[Installer] = None,
+                concretizer: Optional[Concretizer] = None) -> List[InstallRecord]:
+        """``spack install``: concretize and install the whole environment."""
+        installer = installer if installer is not None else Installer()
+        records: List[InstallRecord] = []
+        for concrete in self.concretize(concretizer):
+            records.extend(installer.install(concrete))
+        return records
+
+    def user_facing_table(self, installer: Installer) -> List[tuple[str, str]]:
+        """The Table I view: explicitly requested (package, version) rows."""
+        rows = []
+        for text in self.root_specs:
+            name = Spec.parse(text).name
+            installed = installer.find(name)
+            if installed:
+                rows.append((name, installed[-1].version))
+        return rows

@@ -1,0 +1,128 @@
+"""The installer: build concrete DAGs into the NFS software tree.
+
+Installs dependencies before dependents (post-order), creates Spack-style
+prefixes ``<root>/<target>/<name>-<version>-<hash>``, records an install
+database, and generates environment modules — the §IV deployment path
+("deploy the full software stack and make it available to all system
+users via environment modules").  Build time is modelled from each
+recipe's U740 build cost so examples can report realistic on-target
+deployment times (compiling GCC on a 1.2 GHz in-order core hurts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.services.modules import EnvironmentModules, Module
+from repro.cluster.services.nfs import NFSServer
+from repro.spack.repo import Repository, builtin_repo
+from repro.spack.spec import Spec
+
+__all__ = ["Installer", "InstallError", "InstallRecord"]
+
+
+class InstallError(RuntimeError):
+    """Install-time failures (abstract spec, missing dependency record)."""
+
+
+@dataclass(frozen=True)
+class InstallRecord:
+    """One installed package instance."""
+
+    spec_string: str
+    name: str
+    version: str
+    dag_hash: str
+    prefix: str
+    build_seconds: float
+    explicit: bool
+
+
+class Installer:
+    """Installs concrete specs into an NFS-backed store."""
+
+    def __init__(self, nfs: Optional[NFSServer] = None,
+                 modules: Optional[EnvironmentModules] = None,
+                 repo: Optional[Repository] = None,
+                 root: str = "/opt/spack") -> None:
+        self.nfs = nfs if nfs is not None else NFSServer()
+        if not self.nfs.is_exported(root):
+            self.nfs.export(root)
+        self.modules = modules if modules is not None else EnvironmentModules()
+        self.repo = repo if repo is not None else builtin_repo()
+        self.root = root
+        self._db: Dict[str, InstallRecord] = {}   # dag_hash -> record
+
+    # -- queries ----------------------------------------------------------
+    def is_installed(self, spec: Spec) -> bool:
+        """Whether this exact concrete spec is already installed."""
+        return spec.is_concrete and spec.dag_hash() in self._db
+
+    def find(self, name: str) -> List[InstallRecord]:
+        """All installed instances of a package."""
+        return sorted((r for r in self._db.values() if r.name == name),
+                      key=lambda r: r.version)
+
+    def records(self) -> List[InstallRecord]:
+        """The full install database, deterministic order."""
+        return sorted(self._db.values(), key=lambda r: (r.name, r.version))
+
+    # -- installation ------------------------------------------------------
+    def install(self, spec: Spec, explicit: bool = True) -> List[InstallRecord]:
+        """Install a concrete spec and its closure; returns new records.
+
+        Already-installed nodes are skipped (the Spack behaviour that
+        makes a shared dependency tree cheap across the Table I stack).
+        """
+        if not spec.is_concrete:
+            raise InstallError(
+                f"cannot install abstract spec {spec.name!r}; concretize first")
+        new_records: List[InstallRecord] = []
+        for node in spec.traverse():
+            dag_hash = node.dag_hash()
+            if dag_hash in self._db:
+                continue
+            definition = self.repo.get(node.name)
+            prefix = f"{self.root}/{node.target}/{node.name}-{node.version}-{dag_hash}"
+            self.nfs.mkdir(prefix, parents=True)
+            self.nfs.write(f"{prefix}/.spack-spec", str(node).encode())
+            record = InstallRecord(
+                spec_string=str(node), name=node.name,
+                version=str(node.version), dag_hash=dag_hash, prefix=prefix,
+                build_seconds=definition.build_seconds_u74,
+                explicit=explicit and node.name == spec.name)
+            self._db[dag_hash] = record
+            self._register_module(node, prefix)
+            new_records.append(record)
+        return new_records
+
+    def total_build_seconds(self) -> float:
+        """Cumulative modelled build time of everything installed."""
+        return sum(r.build_seconds for r in self._db.values())
+
+    def _register_module(self, node: Spec, prefix: str) -> None:
+        self.modules.register(Module(name=node.name,
+                                     version=str(node.version),
+                                     prefix=prefix))
+
+    # -- uninstall -----------------------------------------------------------
+    def uninstall(self, name: str, version: str) -> None:
+        """Remove an installed instance (refuses if it has dependents)."""
+        target = next((r for r in self._db.values()
+                       if r.name == name and r.version == version), None)
+        if target is None:
+            raise InstallError(f"{name}@{version} is not installed")
+        for record in self._db.values():
+            if record is target:
+                continue
+            spec_text = self.nfs.read(f"{record.prefix}/.spack-spec").decode()
+            if name in spec_text and record.name != name:
+                # Conservative dependent check: the dependency closure of
+                # every record embeds its dependency names.
+                definition = self.repo.get(record.name)
+                if any(d.name == name for d in definition.dependencies):
+                    raise InstallError(
+                        f"cannot uninstall {name}@{version}: required by "
+                        f"{record.name}@{record.version}")
+        del self._db[target.dag_hash]

@@ -1,0 +1,105 @@
+"""spack.lock-style environment lockfiles.
+
+Reproducible deployments pin the *concretized* DAG, not the abstract
+specs: Spack writes ``spack.lock`` JSON mapping each root to its concrete
+spec closure.  This module serialises concretized environments to that
+shape and rebuilds concrete :class:`~repro.spack.spec.Spec` DAGs from it,
+so a Monte Cimone deployment can be reproduced bit-for-bit (same versions,
+same hashes) on another instance of the simulator — or audited in git.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.spack.spec import Spec
+from repro.spack.version import VersionRange
+
+__all__ = ["write_lockfile", "read_lockfile", "LockfileError"]
+
+_FORMAT_VERSION = 1
+
+
+class LockfileError(ValueError):
+    """Malformed or incompatible lockfile content."""
+
+
+def _node_record(spec: Spec) -> Dict:
+    return {
+        "name": spec.name,
+        "version": str(spec.version),
+        "compiler": (f"{spec.compiler}@{spec.compiler_version}"
+                     if spec.compiler else None),
+        "target": spec.target,
+        "variants": dict(spec.variants),
+        "dependencies": {name: dep.dag_hash()
+                         for name, dep in sorted(spec.dependencies.items())},
+        "hash": spec.dag_hash(),
+    }
+
+
+def write_lockfile(roots: List[Spec]) -> str:
+    """Serialise concretized roots (and their closures) to lock JSON."""
+    nodes: Dict[str, Dict] = {}
+    root_hashes = []
+    for root in roots:
+        if not root.is_concrete:
+            raise LockfileError(f"root {root.name!r} is not concrete")
+        root_hashes.append(root.dag_hash())
+        for node in root.traverse():
+            nodes[node.dag_hash()] = _node_record(node)
+    payload = {
+        "_meta": {"file-type": "repro-spack-lockfile",
+                  "lockfile-version": _FORMAT_VERSION},
+        "roots": root_hashes,
+        "concrete_specs": nodes,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def read_lockfile(text: str) -> List[Spec]:
+    """Rebuild the concrete root specs from lock JSON.
+
+    The reconstructed DAG shares nodes exactly as the original did, and
+    every node's recomputed hash must equal its recorded hash — a
+    tamper/corruption check.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise LockfileError(f"not JSON: {exc}") from exc
+    meta = payload.get("_meta", {})
+    if meta.get("file-type") != "repro-spack-lockfile":
+        raise LockfileError("not a repro-spack lockfile")
+    if meta.get("lockfile-version") != _FORMAT_VERSION:
+        raise LockfileError(
+            f"unsupported lockfile version {meta.get('lockfile-version')}")
+
+    records = payload["concrete_specs"]
+    built: Dict[str, Spec] = {}
+
+    def build(node_hash: str) -> Spec:
+        if node_hash in built:
+            return built[node_hash]
+        if node_hash not in records:
+            raise LockfileError(f"dangling dependency hash {node_hash}")
+        record = records[node_hash]
+        spec = Spec(name=record["name"],
+                    versions=VersionRange.exact(record["version"]),
+                    variants=dict(record["variants"]),
+                    target=record["target"])
+        if record["compiler"]:
+            compiler_name, _, compiler_version = record["compiler"].partition("@")
+            spec.compiler = compiler_name
+            spec.compiler_version = VersionRange.exact(compiler_version)
+        built[node_hash] = spec
+        for dep_name, dep_hash in record["dependencies"].items():
+            spec.dependencies[dep_name] = build(dep_hash)
+        if spec.dag_hash() != node_hash:
+            raise LockfileError(
+                f"hash mismatch for {spec.name}: recorded {node_hash}, "
+                f"recomputed {spec.dag_hash()} (corrupted lockfile?)")
+        return spec
+
+    return [build(h) for h in payload["roots"]]

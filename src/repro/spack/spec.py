@@ -1,0 +1,174 @@
+"""The Spack spec language: abstract and concrete specs.
+
+A spec names a package with optional constraints::
+
+    hpl@2.3 +openmp %gcc@10.3.0 target=u74mc ^openblas@0.3.18
+
+* ``@ver`` or ``@low:high`` — version constraint;
+* ``+variant`` / ``~variant`` — boolean variants;
+* ``%compiler[@ver]`` — compiler request;
+* ``target=...`` — microarchitecture target;
+* ``^spec`` — constraint on a (transitive) dependency.
+
+A spec is *concrete* when its version is exact, its target and compiler
+are fixed and every dependency is itself concrete; only the concretizer
+produces concrete specs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.spack.version import Version, VersionRange
+
+__all__ = ["Spec", "SpecParseError"]
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9\-]*$")
+
+
+class SpecParseError(ValueError):
+    """Malformed spec string."""
+
+
+@dataclass
+class Spec:
+    """One node of a spec expression."""
+
+    name: str
+    versions: VersionRange = field(default_factory=VersionRange)
+    variants: Dict[str, bool] = field(default_factory=dict)
+    compiler: Optional[str] = None
+    compiler_version: Optional[VersionRange] = None
+    target: Optional[str] = None
+    dependencies: Dict[str, "Spec"] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise SpecParseError(f"invalid package name {self.name!r}")
+
+    # -- parsing -----------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Spec":
+        """Parse a spec string (see module docstring for the grammar)."""
+        parts = text.split("^")
+        root = cls._parse_single(parts[0])
+        for dep_text in parts[1:]:
+            dep = cls._parse_single(dep_text)
+            root.dependencies[dep.name] = dep
+        return root
+
+    @classmethod
+    def _parse_single(cls, text: str) -> "Spec":
+        tokens = text.split()
+        if not tokens:
+            raise SpecParseError(f"empty spec in {text!r}")
+        head = tokens[0]
+        match = re.match(r"^([a-z0-9\-]+)(@([^\s%+~]+))?$", head)
+        if not match:
+            raise SpecParseError(f"cannot parse spec head {head!r}")
+        spec = cls(name=match.group(1))
+        if match.group(3):
+            spec.versions = VersionRange.parse(match.group(3))
+        for token in tokens[1:]:
+            if token.startswith("+"):
+                spec.variants[token[1:]] = True
+            elif token.startswith("~") or token.startswith("-"):
+                spec.variants[token[1:]] = False
+            elif token.startswith("%"):
+                comp = token[1:]
+                if "@" in comp:
+                    name, ver = comp.split("@", 1)
+                    spec.compiler = name
+                    spec.compiler_version = VersionRange.parse(ver)
+                else:
+                    spec.compiler = comp
+            elif token.startswith("target="):
+                spec.target = token[len("target="):]
+            else:
+                raise SpecParseError(f"unrecognised spec token {token!r}")
+        return spec
+
+    # -- properties ---------------------------------------------------------
+    @property
+    def version(self) -> Version:
+        """The exact version; only valid on concrete specs."""
+        if self.versions.exact_version is None:
+            raise ValueError(f"spec {self.name} is not concrete")
+        return self.versions.exact_version
+
+    @property
+    def is_concrete(self) -> bool:
+        """Whether this node and all dependencies are fully pinned."""
+        if self.versions.exact_version is None or self.target is None:
+            return False
+        if self.name != "gcc" and self.compiler is None:
+            return False
+        return all(dep.is_concrete for dep in self.dependencies.values())
+
+    def dag_hash(self) -> str:
+        """Spack-style short hash identifying the concrete DAG node."""
+        if not self.is_concrete:
+            raise ValueError(f"cannot hash abstract spec {self.name}")
+        payload = self.format() + "|" + "|".join(
+            self.dependencies[d].dag_hash() for d in sorted(self.dependencies))
+        return hashlib.sha256(payload.encode()).hexdigest()[:7]
+
+    def traverse(self, seen: Optional[set[str]] = None) -> List["Spec"]:
+        """Post-order traversal (dependencies before dependents)."""
+        seen = seen if seen is not None else set()
+        order: List[Spec] = []
+        for dep in sorted(self.dependencies.values(), key=lambda s: s.name):
+            if dep.name not in seen:
+                order.extend(dep.traverse(seen))
+        if self.name not in seen:
+            seen.add(self.name)
+            order.append(self)
+        return order
+
+    def constrain(self, other: "Spec") -> None:
+        """Merge ``other``'s constraints into this spec (same package)."""
+        if other.name != self.name:
+            raise ValueError(f"cannot constrain {self.name} with {other.name}")
+        if not self.versions.intersects(other.versions):
+            raise ValueError(
+                f"conflicting versions for {self.name}: "
+                f"{self.versions} vs {other.versions}")
+        if other.versions.exact_version is not None:
+            self.versions = other.versions
+        elif other.versions.low or other.versions.high:
+            self.versions = other.versions if self.versions.exact_version is None else self.versions
+        for variant, value in other.variants.items():
+            if self.variants.get(variant, value) != value:
+                raise ValueError(f"conflicting variant {variant!r} on {self.name}")
+            self.variants[variant] = value
+        if other.compiler is not None:
+            self.compiler = other.compiler
+            if other.compiler_version is not None:
+                self.compiler_version = other.compiler_version
+        if other.target is not None:
+            self.target = other.target
+
+    def format(self) -> str:
+        """Render this node (without dependencies) as a spec string."""
+        parts = [self.name]
+        if self.versions.exact_version is not None or self.versions.low or self.versions.high:
+            parts[0] += f"@{self.versions}"
+        for variant in sorted(self.variants):
+            parts.append(("+" if self.variants[variant] else "~") + variant)
+        if self.compiler:
+            comp = f"%{self.compiler}"
+            if self.compiler_version is not None:
+                comp += f"@{self.compiler_version}"
+            parts.append(comp)
+        if self.target:
+            parts.append(f"target={self.target}")
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        rendered = [self.format()]
+        rendered.extend(f"^{self.dependencies[d].format()}"
+                        for d in sorted(self.dependencies))
+        return " ".join(rendered)

@@ -1,0 +1,129 @@
+"""Tests for the analysis layer: tables, experiment drivers, report."""
+
+import pytest
+
+from repro.analysis import paper
+from repro.analysis.experiments import (
+    comparison_table,
+    fig2_hpl_scaling,
+    fig3_power_traces,
+    fig4_boot_power,
+    infiniband_status,
+    qe_lax_result,
+    table1_software_stack,
+    table2_topics,
+    table4_hwmon,
+    table5_stream,
+    table6_power,
+)
+from repro.analysis.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["x", "yyyy"]])
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(["h"], [["v"]], title="My table")
+        assert text.startswith("My table\n")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[3.14159265]])
+        assert "3.142" in text
+
+
+class TestFastDrivers:
+    def test_table1_all_match(self):
+        rows = table1_software_stack()
+        assert len(rows) == 9
+        assert all(match for _n, _i, _p, match in rows)
+
+    def test_table2_topic_shapes(self):
+        topics = table2_topics()
+        assert topics["pmu_pub"].startswith("org/")
+        assert "/core/0/" in topics["pmu_pub"]
+        assert "dstat_pub" in topics["stats_pub"]
+
+    def test_table4_is_table_iv(self):
+        assert table4_hwmon() == {
+            "nvme_temp": "/sys/class/hwmon/hwmon0/temp1_input",
+            "mb_temp": "/sys/class/hwmon/hwmon1/temp1_input",
+            "cpu_temp": "/sys/class/hwmon/hwmon1/temp2_input",
+        }
+
+    def test_fig2_anchors(self):
+        scaling = fig2_hpl_scaling()
+        assert scaling.point(1).gflops == pytest.approx(1.86, abs=0.04)
+        assert scaling.point(8).gflops == pytest.approx(12.65, abs=0.52)
+        assert scaling.point(8).fraction_of_linear == pytest.approx(0.85,
+                                                                    abs=0.03)
+        with pytest.raises(KeyError):
+            scaling.point(16)
+
+    def test_table5_within_one_percent(self):
+        table = table5_stream()
+        for column in table.values():
+            for kernel, (measured, reference) in column.items():
+                assert measured == pytest.approx(reference, rel=0.01), kernel
+
+    def test_comparison_rows_match_paper(self):
+        for machine, hpl, hpl_ref, stream, stream_ref in comparison_table():
+            assert hpl == pytest.approx(hpl_ref, abs=0.005), machine
+            assert stream == pytest.approx(stream_ref, abs=0.005), machine
+
+    def test_qe_lax(self):
+        result = qe_lax_result()
+        assert result.throughput.mean == pytest.approx(1.44, abs=0.05)
+
+    def test_table6_rails_within_tolerance(self):
+        table = table6_power()
+        for column, rails in table.items():
+            for rail, (measured, reference) in rails.items():
+                assert measured == pytest.approx(reference, abs=25.0), \
+                    f"{column}/{rail}"
+
+    def test_fig3_trace_means_track_table_vi(self):
+        traces = fig3_power_traces(duration_s=2.0)
+        assert traces["hpl"]["core"]["mean_w"] == pytest.approx(4.097,
+                                                                abs=0.15)
+        assert traces["stream_ddr"]["ddr"]["mean_w"] == pytest.approx(0.95,
+                                                                      abs=0.1)
+
+    def test_fig4_decomposition(self):
+        boot = fig4_boot_power()
+        assert boot["r1_core_w"] == pytest.approx(0.984, abs=0.01)
+        assert boot["leakage_fraction"] == pytest.approx(0.32, abs=0.01)
+        assert boot["os_fraction"] == pytest.approx(0.17, abs=0.01)
+
+    def test_infiniband_snapshot(self):
+        status = infiniband_status()
+        assert status.device_recognised and status.board_to_board_ping
+        assert not status.rdma_functional
+
+
+class TestPaperConstants:
+    def test_table_vi_totals_match_paper_row(self):
+        from repro.power.model import TABLE_VI_MILLIWATTS
+
+        # The paper's Total row: 4810/5935/5486/5336/5670/1385/4024.
+        totals = {col: sum(v.values())
+                  for col, v in TABLE_VI_MILLIWATTS.items()}
+        assert totals["idle"] == 4810
+        assert totals["hpl"] == pytest.approx(5935, abs=1)
+        assert totals["stream_l2"] == pytest.approx(5486, abs=1)
+        assert totals["stream_ddr"] == pytest.approx(5336, abs=1)
+        assert totals["qe"] == pytest.approx(5670, abs=1)
+        assert totals["boot_r1"] == pytest.approx(1385, abs=1)
+        assert totals["boot_r2"] == pytest.approx(4024, abs=1)
+
+    def test_comparison_constants(self):
+        assert paper.COMPARISON_FRACTIONS["montecimone"]["hpl"] == 0.465
+        assert paper.HPL_FULL_MACHINE["fraction_of_linear"] == 0.85

@@ -1,0 +1,115 @@
+"""Tests for the HPL model — the Fig. 2 / §V-A reproduction."""
+
+import pytest
+
+from repro.benchmarks.hpl import HPLConfig, HPLModel
+from repro.hardware.specs import MARCONI100_NODE, MONTE_CIMONE_NODE
+
+
+class TestHPLConfig:
+    def test_paper_defaults(self):
+        config = HPLConfig()
+        assert config.n == 40704
+        assert config.nb == 192
+        assert config.ranks_per_node == 4
+
+    def test_flop_count_formula(self):
+        config = HPLConfig(n=1000, nb=100)
+        assert config.flops == pytest.approx(2 / 3 * 1e9 + 2e6)
+
+    def test_panel_count(self):
+        assert HPLConfig().n_panels == 212
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HPLConfig(n=0)
+        with pytest.raises(ValueError):
+            HPLConfig(n=100, nb=200)
+        with pytest.raises(ValueError):
+            HPLConfig(n_nodes=0)
+
+    def test_matrix_fills_most_of_node_dram(self):
+        # N=40704 doubles ≈ 13.3 GB of the 16 GB node.
+        assert HPLConfig().matrix_bytes == pytest.approx(13.25e9, rel=0.01)
+
+
+class TestSingleNode:
+    RESULT = HPLModel().run()
+
+    def test_gflops_matches_paper(self):
+        # Paper: 1.86 ± 0.04 GFLOP/s.
+        assert self.RESULT.gflops.mean == pytest.approx(1.86, abs=0.04)
+
+    def test_efficiency_46_5_percent(self):
+        assert self.RESULT.efficiency == pytest.approx(0.465, abs=0.002)
+
+    def test_runtime_near_24105_s(self):
+        # Paper: 24105 ± 587 s.
+        assert self.RESULT.runtime_s.mean == pytest.approx(24105, rel=0.03)
+
+    def test_no_communication_single_node(self):
+        assert self.RESULT.comm_time_s == 0.0
+
+    def test_ten_repetitions(self):
+        assert self.RESULT.gflops.n_runs == 10
+
+    def test_deterministic_given_seed(self):
+        again = HPLModel().run()
+        assert again.gflops.mean == self.RESULT.gflops.mean
+        assert again.gflops.samples == self.RESULT.gflops.samples
+
+
+class TestStrongScaling:
+    POINTS = HPLModel().strong_scaling()
+
+    def test_full_machine_gflops(self):
+        # Paper: 12.65 ± 0.52 GFLOP/s on 8 nodes.
+        assert self.POINTS[8].gflops.mean == pytest.approx(12.65, abs=0.52)
+
+    def test_full_machine_efficiency_39_5_percent(self):
+        assert self.POINTS[8].efficiency == pytest.approx(0.395, abs=0.01)
+
+    def test_fraction_of_linear_85_percent(self):
+        speedup = self.POINTS[8].gflops.mean / self.POINTS[1].gflops.mean
+        assert speedup / 8 == pytest.approx(0.85, abs=0.03)
+
+    def test_full_machine_runtime(self):
+        # Paper: 3548 ± 136 s.
+        assert self.POINTS[8].runtime_s.mean == pytest.approx(3548, rel=0.03)
+
+    def test_scaling_is_monotone(self):
+        gflops = [self.POINTS[n].gflops.mean for n in (1, 2, 4, 8)]
+        assert gflops == sorted(gflops)
+
+    def test_efficiency_degrades_with_nodes(self):
+        efficiencies = [self.POINTS[n].efficiency for n in (1, 2, 4, 8)]
+        assert efficiencies == sorted(efficiencies, reverse=True)
+
+    def test_communication_grows_with_nodes(self):
+        assert (self.POINTS[8].comm_time_s > self.POINTS[4].comm_time_s
+                > self.POINTS[2].comm_time_s > 0)
+
+
+class TestMemoryValidation:
+    def test_oversized_problem_rejected(self):
+        model = HPLModel()
+        with pytest.raises(MemoryError):
+            model.run(HPLConfig(n=60000))
+
+    def test_distribution_unlocks_bigger_problems(self):
+        model = HPLModel()
+        model.validate_memory(HPLConfig(n=60000, n_nodes=8))  # fits
+
+
+class TestOtherMachines:
+    def test_marconi100_efficiency(self):
+        model = HPLModel(node=MARCONI100_NODE)
+        n = int((0.8 * MARCONI100_NODE.dram_bytes / 8) ** 0.5)
+        result = model.run(HPLConfig(n=n - n % 192, nb=192))
+        assert result.efficiency == pytest.approx(0.597, abs=0.002)
+
+    def test_efficiency_independent_of_problem_size(self):
+        model = HPLModel(node=MONTE_CIMONE_NODE)
+        small = model.run(HPLConfig(n=9600, nb=192))
+        large = model.run(HPLConfig(n=40704, nb=192))
+        assert small.efficiency == pytest.approx(large.efficiency, rel=1e-6)

@@ -1,0 +1,219 @@
+"""Tests for NFS, LDAP and environment modules."""
+
+import pytest
+
+from repro.cluster.blade import PSU, RV007Blade
+from repro.cluster.node import ComputeNode
+from repro.cluster.services.ldap import AuthenticationError, LDAPServer
+from repro.cluster.services.modules import (
+    EnvironmentModules,
+    Module,
+    ModuleConflictError,
+)
+from repro.cluster.services.nfs import NFSMount, NFSServer
+
+
+class TestNFSServer:
+    def _server(self):
+        server = NFSServer()
+        server.export("/home")
+        return server
+
+    def test_export_creates_root(self):
+        server = self._server()
+        assert server.exists("/home")
+        assert server.is_exported("/home/alice")
+
+    def test_write_and_read(self):
+        server = self._server()
+        server.mkdir("/home/alice")
+        server.write("/home/alice/data.txt", b"hello")
+        assert server.read("/home/alice/data.txt") == b"hello"
+
+    def test_write_needs_parent_directory(self):
+        server = self._server()
+        with pytest.raises(FileNotFoundError):
+            server.write("/home/ghost/file", b"x")
+
+    def test_mkdir_parents(self):
+        server = self._server()
+        server.mkdir("/home/a/b/c", parents=True)
+        assert server.exists("/home/a/b/c")
+        with pytest.raises(FileNotFoundError):
+            server.mkdir("/home/x/y/z")
+
+    def test_listdir(self):
+        server = self._server()
+        server.mkdir("/home/alice")
+        server.mkdir("/home/bob")
+        server.write("/home/alice/f", b"")
+        assert server.listdir("/home") == ["alice", "bob"]
+        assert server.listdir("/home/alice") == ["f"]
+
+    def test_relative_paths_rejected(self):
+        with pytest.raises(ValueError):
+            self._server().write("relative/path", b"")
+
+    def test_traffic_accounting(self):
+        server = self._server()
+        server.write("/home/f", b"abcd")
+        server.read("/home/f")
+        assert server.bytes_written == 4
+        assert server.bytes_served == 4
+
+
+class TestNFSMount:
+    def test_mount_translates_paths(self):
+        server = NFSServer()
+        server.export("/srv/home")
+        server.write("/srv/home/readme", b"data")
+        mount = NFSMount(server=server, export_path="/srv/home",
+                         mountpoint="/home")
+        assert mount.read("/home/readme") == b"data"
+        mount.write("/home/new", b"x")
+        assert server.read("/srv/home/new") == b"x"
+
+    def test_unexported_path_refused(self):
+        server = NFSServer()
+        with pytest.raises(PermissionError):
+            NFSMount(server=server, export_path="/secret", mountpoint="/mnt")
+
+    def test_path_outside_mountpoint_rejected(self):
+        server = NFSServer()
+        server.export("/srv")
+        mount = NFSMount(server=server, export_path="/srv", mountpoint="/mnt")
+        with pytest.raises(ValueError):
+            mount.read("/etc/passwd")
+
+
+class TestLDAP:
+    def _server(self):
+        server = LDAPServer()
+        server.add_group("hpc-users")
+        server.add_user("alice", "s3cret", "hpc-users")
+        return server
+
+    def test_bind_success_and_failure(self):
+        server = self._server()
+        user = server.bind("alice", "s3cret")
+        assert user.uid == "alice"
+        with pytest.raises(AuthenticationError):
+            server.bind("alice", "wrong")
+        with pytest.raises(AuthenticationError):
+            server.bind("ghost", "x")
+
+    def test_uid_numbers_sequential(self):
+        server = self._server()
+        bob = server.add_user("bob", "pw", "hpc-users")
+        assert bob.uid_number == server.get_user("alice").uid_number + 1
+
+    def test_duplicate_user_rejected(self):
+        server = self._server()
+        with pytest.raises(ValueError):
+            server.add_user("alice", "pw", "hpc-users")
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(KeyError):
+            self._server().add_user("bob", "pw", "nonexistent")
+
+    def test_lookup_by_number(self):
+        server = self._server()
+        alice = server.get_user("alice")
+        assert server.get_user_by_number(alice.uid_number).uid == "alice"
+
+    def test_group_membership(self):
+        server = self._server()
+        server.add_user("bob", "pw", "hpc-users")
+        assert server.users_in_group("hpc-users") == ["alice", "bob"]
+
+    def test_dn_format(self):
+        server = self._server()
+        dn = server.get_user("alice").dn(server.base_dn)
+        assert dn == "uid=alice,ou=People,dc=montecimone,dc=cineca,dc=it"
+
+    def test_prefix_search(self):
+        server = self._server()
+        server.add_user("albert", "pw", "hpc-users")
+        assert [u.uid for u in server.search("al")] == ["albert", "alice"]
+
+
+class TestEnvironmentModules:
+    def _modules(self):
+        modules = EnvironmentModules()
+        modules.register(Module(name="gcc", version="10.3.0",
+                                prefix="/opt/spack/gcc-10.3.0"))
+        modules.register(Module(name="gcc", version="12.1.0",
+                                prefix="/opt/spack/gcc-12.1.0"))
+        modules.register(Module(name="hpl", version="2.3",
+                                prefix="/opt/spack/hpl-2.3"))
+        return modules
+
+    def test_avail_lists_and_filters(self):
+        modules = self._modules()
+        assert modules.avail() == ["gcc/10.3.0", "gcc/12.1.0", "hpl/2.3"]
+        assert modules.avail("gcc") == ["gcc/10.3.0", "gcc/12.1.0"]
+
+    def test_load_prepends_path(self):
+        modules = self._modules()
+        modules.load("gcc/10.3.0")
+        assert modules.environment["PATH"].startswith(
+            "/opt/spack/gcc-10.3.0/bin:")
+
+    def test_version_conflict(self):
+        modules = self._modules()
+        modules.load("gcc/10.3.0")
+        with pytest.raises(ModuleConflictError):
+            modules.load("gcc/12.1.0")
+
+    def test_unload_removes_env_edits(self):
+        modules = self._modules()
+        modules.load("hpl/2.3")
+        modules.unload("hpl/2.3")
+        assert "/opt/spack/hpl-2.3/bin" not in modules.environment["PATH"]
+        assert modules.list_loaded() == []
+
+    def test_unknown_module_raises(self):
+        with pytest.raises(KeyError):
+            self._modules().load("fftw/3.3.10")
+
+    def test_reload_same_version_is_idempotent(self):
+        modules = self._modules()
+        modules.load("gcc/10.3.0")
+        modules.load("gcc/10.3.0")
+        assert modules.environment["PATH"].count(
+            "/opt/spack/gcc-10.3.0/bin") == 1
+
+
+class TestBlade:
+    def _blade(self):
+        return RV007Blade(blade_id=0, nodes=(
+            ComputeNode(hostname="a"), ComputeNode(hostname="b")))
+
+    def test_exactly_two_boards(self):
+        with pytest.raises(ValueError):
+            RV007Blade(blade_id=0, nodes=(ComputeNode(hostname="a"),))
+
+    def test_individual_power_on(self):
+        blade = self._blade()
+        blade.power_on_node(0)
+        assert blade.psus[0].on and not blade.psus[1].on
+        assert blade.nodes[0].total_power_w() > 0
+        assert blade.nodes[1].total_power_w() == 0
+
+    def test_psu_efficiency_and_waste_heat(self):
+        psu = PSU()
+        psu.switch_on()
+        assert psu.input_power_w(88.0) == pytest.approx(100.0)
+        assert psu.waste_heat_w(88.0) == pytest.approx(12.0)
+
+    def test_psu_rating_enforced(self):
+        psu = PSU()
+        psu.switch_on()
+        with pytest.raises(ValueError):
+            psu.input_power_w(251.0)
+
+    def test_wall_power_exceeds_dc_power(self):
+        blade = self._blade()
+        blade.power_on_node(0)
+        blade.power_on_node(1)
+        assert blade.total_wall_power_w() > blade.total_dc_power_w() > 0

@@ -1,0 +1,196 @@
+"""Tests for generator-based processes: spawning, waiting, interrupts."""
+
+import pytest
+
+from repro.events import Engine, Interrupt, SimulationError
+
+
+def test_process_runs_and_returns_value():
+    eng = Engine()
+
+    def worker(env):
+        yield env.timeout(2.0)
+        return 42
+
+    proc = eng.spawn(worker(eng))
+    eng.run()
+    assert proc.value == 42
+    assert not proc.is_alive
+
+
+def test_process_receives_timeout_value():
+    eng = Engine()
+    got = []
+
+    def worker(env):
+        value = yield env.timeout(1.0, value="hello")
+        got.append(value)
+
+    eng.spawn(worker(eng))
+    eng.run()
+    assert got == ["hello"]
+
+
+def test_process_waits_on_child_process():
+    eng = Engine()
+
+    def child(env):
+        yield env.timeout(3.0)
+        return "done"
+
+    def parent(env):
+        result = yield env.spawn(child(env))
+        assert env.now == 3.0
+        return result
+
+    proc = eng.spawn(parent(eng))
+    eng.run()
+    assert proc.value == "done"
+
+
+def test_two_processes_interleave():
+    eng = Engine()
+    log = []
+
+    def ticker(env, name, period):
+        for _ in range(3):
+            yield env.timeout(period)
+            log.append((name, env.now))
+
+    eng.spawn(ticker(eng, "fast", 1.0))
+    eng.spawn(ticker(eng, "slow", 2.0))
+    eng.run()
+    # At t=2.0 the slow ticker's timeout was scheduled earlier (at t=0)
+    # than the fast ticker's second one (at t=1), so it fires first —
+    # the kernel's deterministic insertion-order rule.
+    assert log == [("fast", 1.0), ("slow", 2.0), ("fast", 2.0),
+                   ("fast", 3.0), ("slow", 4.0), ("slow", 6.0)]
+
+
+def test_interrupt_delivers_cause():
+    eng = Engine()
+    caught = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            caught.append((env.now, interrupt.cause))
+
+    proc = eng.spawn(sleeper(eng))
+    eng.call_at(5.0, lambda: proc.interrupt("preempted"))
+    eng.run()
+    assert caught == [(5.0, "preempted")]
+
+
+def test_interrupted_process_can_continue():
+    eng = Engine()
+    done_at = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)
+        done_at.append(env.now)
+
+    proc = eng.spawn(sleeper(eng))
+    eng.call_at(5.0, lambda: proc.interrupt())
+    eng.run()
+    assert done_at == [6.0]
+
+
+def test_interrupting_finished_process_is_error():
+    eng = Engine()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    proc = eng.spawn(quick(eng))
+    eng.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_unhandled_interrupt_fails_waiters():
+    eng = Engine()
+
+    def sleeper(env):
+        yield env.timeout(100.0)
+
+    def parent(env):
+        try:
+            yield proc
+        except Interrupt:
+            return "child interrupted"
+        return "child finished"
+
+    proc = eng.spawn(sleeper(eng))
+    parent_proc = eng.spawn(parent(eng))
+    eng.call_at(2.0, lambda: proc.interrupt())
+    eng.run()
+    assert parent_proc.value == "child interrupted"
+
+
+def test_unwaited_process_exception_crashes_loudly():
+    eng = Engine()
+
+    def buggy(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("silent no more")
+
+    eng.spawn(buggy(eng))
+    with pytest.raises(RuntimeError, match="silent no more"):
+        eng.run()
+
+
+def test_waited_process_exception_propagates_to_waiter():
+    eng = Engine()
+
+    def buggy(env):
+        yield env.timeout(1.0)
+        raise ValueError("inner")
+
+    def parent(env):
+        try:
+            yield proc
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    proc = eng.spawn(buggy(eng))
+    parent_proc = eng.spawn(parent(eng))
+    eng.run()
+    assert parent_proc.value == "caught inner"
+
+
+def test_yielding_non_event_fails_process():
+    eng = Engine()
+
+    def bad(env):
+        yield 42
+
+    def parent(env):
+        with pytest.raises(SimulationError):
+            yield proc
+        return "ok"
+
+    proc = eng.spawn(bad(eng))
+    parent_proc = eng.spawn(parent(eng))
+    eng.run()
+    assert parent_proc.value == "ok"
+
+
+def test_waiting_on_already_processed_event():
+    eng = Engine()
+    t = eng.timeout(1.0, value="v")
+    eng.run()
+    assert t.processed
+
+    def late(env):
+        value = yield t
+        return value
+
+    proc = eng.spawn(late(eng))
+    eng.run()
+    assert proc.value == "v"

@@ -1,0 +1,150 @@
+"""Tests for Resource, Container and Store, including property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import Container, Engine, Resource, Store
+
+
+class TestResource:
+    def test_grants_up_to_capacity_immediately(self):
+        eng = Engine()
+        resource = Resource(eng, capacity=2)
+        assert resource.request().triggered
+        assert resource.request().triggered
+        assert not resource.request().triggered
+        assert resource.queue_length == 1
+
+    def test_release_wakes_fifo_waiter(self):
+        eng = Engine()
+        resource = Resource(eng, capacity=1)
+        resource.request()
+        first_waiter = resource.request()
+        second_waiter = resource.request()
+        resource.release()
+        assert first_waiter.triggered
+        assert not second_waiter.triggered
+
+    def test_release_without_request_raises(self):
+        eng = Engine()
+        with pytest.raises(RuntimeError):
+            Resource(eng).release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(Engine(), capacity=0)
+
+    def test_mutual_exclusion_under_processes(self):
+        eng = Engine()
+        resource = Resource(eng, capacity=1)
+        active = []
+        max_active = []
+
+        def worker(env):
+            request = resource.request()
+            yield request
+            active.append(1)
+            max_active.append(len(active))
+            yield env.timeout(1.0)
+            active.pop()
+            resource.release()
+
+        for _ in range(5):
+            eng.spawn(worker(eng))
+        eng.run()
+        assert max(max_active) == 1
+
+
+class TestContainer:
+    def test_get_blocks_until_level(self):
+        eng = Engine()
+        container = Container(eng, capacity=10, init=0)
+        get_event = container.get(5)
+        assert not get_event.triggered
+        container.put(5)
+        assert get_event.triggered
+        assert container.level == 0
+
+    def test_put_blocks_at_capacity(self):
+        eng = Engine()
+        container = Container(eng, capacity=10, init=10)
+        put_event = container.put(1)
+        assert not put_event.triggered
+        container.get(5)
+        assert put_event.triggered
+        assert container.level == 6
+
+    def test_init_validation(self):
+        with pytest.raises(ValueError):
+            Container(Engine(), capacity=5, init=6)
+
+    def test_negative_amounts_rejected(self):
+        container = Container(Engine(), capacity=5)
+        with pytest.raises(ValueError):
+            container.get(-1)
+        with pytest.raises(ValueError):
+            container.put(-1)
+
+    @given(amounts=st.lists(st.floats(min_value=0.1, max_value=10.0),
+                            min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_level_never_negative_or_over_capacity(self, amounts):
+        eng = Engine()
+        container = Container(eng, capacity=50.0, init=25.0)
+        for i, amount in enumerate(amounts):
+            if i % 2 == 0:
+                container.put(amount)
+            else:
+                container.get(amount)
+            assert 0.0 <= container.level <= 50.0
+
+
+class TestStore:
+    def test_fifo_order(self):
+        eng = Engine()
+        store = Store(eng)
+        for item in "abc":
+            store.put(item)
+        got = [store.get().value for _ in range(3)]
+        assert got == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self):
+        eng = Engine()
+        store = Store(eng)
+        get_event = store.get()
+        assert not get_event.triggered
+        store.put("x")
+        assert get_event.triggered
+        assert get_event.value == "x"
+
+    def test_capacity_overflow_raises(self):
+        eng = Engine()
+        store = Store(eng, capacity=1)
+        store.put("a")
+        with pytest.raises(OverflowError):
+            store.put("b")
+
+    def test_try_put_reports_drop(self):
+        eng = Engine()
+        store = Store(eng, capacity=1)
+        assert store.try_put("a")
+        assert not store.try_put("b")
+        assert len(store) == 1
+
+    def test_drain_empties_store(self):
+        eng = Engine()
+        store = Store(eng)
+        for i in range(4):
+            store.put(i)
+        assert store.drain() == [0, 1, 2, 3]
+        assert len(store) == 0
+
+    @given(items=st.lists(st.integers(), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_put_get_roundtrip_preserves_order(self, items):
+        eng = Engine()
+        store = Store(eng)
+        for item in items:
+            store.put(item)
+        assert [store.get().value for _ in items] == items

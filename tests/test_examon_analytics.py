@@ -1,0 +1,120 @@
+"""Tests for the ExaMon analytics layer (anomaly detection)."""
+
+import pytest
+
+from repro.cluster.cluster import MonteCimoneCluster
+from repro.examon.analytics import (
+    TrendDetector,
+    ZScoreDetector,
+    scan_cluster_temperatures,
+)
+from repro.examon.deployment import ExamonDeployment
+from repro.power.model import HPL_PROFILE
+from repro.slurm.api import SlurmAPI
+from repro.thermal.enclosure import EnclosureConfig
+
+
+class TestZScoreDetector:
+    def test_outlier_detected(self):
+        detector = ZScoreDetector(threshold=2.0)
+        readings = {f"n{i}": 60.0 for i in range(7)}
+        readings["n7"] = 95.0
+        anomalies = detector.scan(100.0, readings)
+        assert [a.subject for a in anomalies] == ["n7"]
+        assert anomalies[0].kind == "outlier"
+
+    def test_uniform_cluster_is_clean(self):
+        detector = ZScoreDetector()
+        readings = {f"n{i}": 60.0 + 0.1 * i for i in range(8)}
+        assert detector.scan(100.0, readings) == []
+
+    def test_common_mode_heating_is_not_anomalous(self):
+        """All nodes getting hot together (HPL start) is not an anomaly."""
+        detector = ZScoreDetector()
+        cold = {f"n{i}": 30.0 for i in range(8)}
+        hot = {f"n{i}": 70.0 for i in range(8)}
+        assert detector.scan(1.0, cold) == []
+        assert detector.scan(2.0, hot) == []
+
+    def test_too_few_nodes_skipped(self):
+        detector = ZScoreDetector()
+        assert detector.scan(1.0, {"a": 10.0, "b": 99.0}) == []
+
+    def test_small_absolute_spread_ignored(self):
+        # 0.5 °C of spread is sensor noise, not an incident.
+        detector = ZScoreDetector(min_absolute_spread=2.0)
+        readings = {f"n{i}": 60.0 for i in range(7)}
+        readings["n7"] = 60.5
+        assert detector.scan(1.0, readings) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ZScoreDetector(threshold=0.0)
+
+
+class TestTrendDetector:
+    def test_rising_series_predicts_crossing(self):
+        detector = TrendDetector(threshold=107.0, window_s=100.0,
+                                 horizon_s=500.0)
+        points = [(float(t), 80.0 + 0.1 * t) for t in range(0, 100, 5)]
+        anomalies = detector.scan("n7", points)
+        assert len(anomalies) == 1
+        assert anomalies[0].kind == "trend"
+        # 80 + 0.1t = 107 → t = 270; last sample at 95 → ~175 s away.
+        assert "in 1" in anomalies[0].detail
+
+    def test_flat_series_is_clean(self):
+        detector = TrendDetector(threshold=107.0)
+        points = [(float(t), 65.0) for t in range(0, 100, 5)]
+        assert detector.scan("n1", points) == []
+
+    def test_cooling_series_is_clean(self):
+        detector = TrendDetector(threshold=107.0)
+        points = [(float(t), 90.0 - 0.2 * t) for t in range(0, 100, 5)]
+        assert detector.scan("n1", points) == []
+
+    def test_crossing_beyond_horizon_ignored(self):
+        detector = TrendDetector(threshold=107.0, window_s=100.0,
+                                 horizon_s=60.0)
+        points = [(float(t), 30.0 + 0.01 * t) for t in range(0, 100, 5)]
+        assert detector.scan("n1", points) == []
+
+    def test_too_few_points(self):
+        detector = TrendDetector(threshold=107.0)
+        assert detector.predict_crossing([(0.0, 50.0), (1.0, 60.0)]) is None
+
+
+class TestClusterScan:
+    def test_detects_node7_before_trip(self):
+        """The analytics catch the Fig. 6 runaway while it develops."""
+        cluster = MonteCimoneCluster(
+            enclosure_config=EnclosureConfig.original())
+        cluster.boot_all()
+        deployment = ExamonDeployment(cluster)
+        deployment.start()
+        api = SlurmAPI(cluster.slurm)
+        start = cluster.engine.now
+        api.sbatch("hpl", "bench", nodes=8, duration_s=1800.0,
+                   profile=HPL_PROFILE)
+        cluster.run_for(480.0)  # 8 minutes in: hot, but below the trip
+        assert cluster.watchdog.tripped_nodes() == []
+        anomalies = scan_cluster_temperatures(
+            deployment.db, list(cluster.nodes), start, cluster.engine.now)
+        subjects = {anomaly.subject for anomaly in anomalies}
+        assert "mc-node-7" in subjects
+        kinds = {a.kind for a in anomalies if a.subject == "mc-node-7"}
+        assert "outlier" in kinds or "trend" in kinds
+
+    def test_mitigated_cluster_is_clean(self):
+        cluster = MonteCimoneCluster(
+            enclosure_config=EnclosureConfig.mitigated())
+        cluster.boot_all()
+        deployment = ExamonDeployment(cluster)
+        deployment.start()
+        api = SlurmAPI(cluster.slurm)
+        start = cluster.engine.now
+        api.srun("hpl", "bench", 8, duration_s=400.0, profile=HPL_PROFILE)
+        anomalies = scan_cluster_temperatures(
+            deployment.db, list(cluster.nodes), start, cluster.engine.now)
+        trend_alarms = [a for a in anomalies if a.kind == "trend"]
+        assert trend_alarms == []

@@ -1,0 +1,164 @@
+"""Tests for the time-series DB, REST facade and dashboards."""
+
+import pytest
+
+from repro.examon.broker import MQTTBroker
+from repro.examon.dashboard import Dashboard, Heatmap
+from repro.examon.rest import ExamonRestAPI
+from repro.examon.topics import TopicSchema
+from repro.examon.tsdb import TimeSeriesDB
+
+
+class TestTSDB:
+    def test_insert_and_query_range(self):
+        db = TimeSeriesDB()
+        for t in range(10):
+            db.insert("m", float(t), float(t * 10))
+        points = db.query("m", 3.0, 6.0)
+        assert [t for t, _v in points] == [3.0, 4.0, 5.0, 6.0]
+
+    def test_out_of_order_insert_keeps_sorted(self):
+        db = TimeSeriesDB()
+        db.insert("m", 5.0, 1.0)
+        db.insert("m", 2.0, 2.0)
+        db.insert("m", 8.0, 3.0)
+        assert [t for t, _v in db.query("m")] == [2.0, 5.0, 8.0]
+
+    def test_latest(self):
+        db = TimeSeriesDB()
+        assert db.latest("missing") is None
+        db.insert("m", 1.0, 10.0)
+        db.insert("m", 2.0, 20.0)
+        assert db.latest("m") == (2.0, 20.0)
+
+    def test_ingest_from_broker(self):
+        broker = MQTTBroker()
+        db = TimeSeriesDB()
+        db.attach(broker, "#")
+        broker.publish("sensor/t", "42.5;100.0", timestamp_s=100.0)
+        assert db.query("sensor/t") == [(100.0, 42.5)]
+
+    def test_malformed_payload_counted_not_stored(self):
+        broker = MQTTBroker()
+        db = TimeSeriesDB()
+        db.attach(broker, "#")
+        broker.publish("sensor/t", "garbage", timestamp_s=1.0)
+        assert db.decode_errors == 1
+        assert db.points_stored == 0
+
+    def test_aggregate_mean(self):
+        db = TimeSeriesDB()
+        for t in range(20):
+            db.insert("m", float(t), float(t))
+        buckets = db.aggregate("m", 0.0, 20.0, window_s=10.0, how="mean")
+        assert buckets == [(0.0, 4.5), (10.0, 14.5)]
+
+    def test_aggregate_unknown_how(self):
+        db = TimeSeriesDB()
+        with pytest.raises(KeyError):
+            db.aggregate("m", 0, 1, 1, how="p99")
+
+    def test_rate_differentiates_counter(self):
+        db = TimeSeriesDB()
+        for t in range(5):
+            db.insert("counter", float(t), float(t * 100))
+        rates = db.rate("counter")
+        assert all(rate == pytest.approx(100.0) for _t, rate in rates)
+
+    def test_rate_handles_counter_reset(self):
+        db = TimeSeriesDB()
+        db.insert("counter", 0.0, 1000.0)
+        db.insert("counter", 1.0, 50.0)    # node rebooted
+        rates = db.rate("counter")
+        assert rates == [(1.0, 0.0)]
+
+    def test_topics_pattern_filter(self):
+        db = TimeSeriesDB()
+        db.insert("a/x", 0.0, 1.0)
+        db.insert("b/y", 0.0, 1.0)
+        assert db.topics("a/#") == ["a/x"]
+
+
+class TestRestAPI:
+    def _api(self):
+        db = TimeSeriesDB()
+        for t in range(10):
+            db.insert("node/metric", float(t), float(t))
+        return ExamonRestAPI(db)
+
+    def test_query_endpoint(self):
+        api = self._api()
+        result = api.get("/api/query", {"topic": "node/metric",
+                                        "start": 0.0, "end": 2.0})
+        assert result == [{"t": 0.0, "v": 0.0}, {"t": 1.0, "v": 1.0},
+                          {"t": 2.0, "v": 2.0}]
+
+    def test_latest_endpoint(self):
+        api = self._api()
+        assert api.get("/api/latest", {"topic": "node/metric"}) == \
+            {"t": 9.0, "v": 9.0}
+
+    def test_topics_endpoint(self):
+        assert self._api().get("/api/topics") == ["node/metric"]
+
+    def test_unknown_endpoint_404(self):
+        with pytest.raises(KeyError, match="404"):
+            self._api().get("/api/nope")
+
+    def test_request_counter(self):
+        api = self._api()
+        api.get("/api/topics")
+        api.get("/api/topics")
+        assert api.requests_served == 2
+
+
+class TestDashboard:
+    def _db_with_counters(self):
+        db = TimeSeriesDB()
+        schema = TopicSchema()
+        for host in ("mc-node-1", "mc-node-2"):
+            rate = 100.0 if host == "mc-node-1" else 50.0
+            for core in range(4):
+                topic = schema.pmu_topic(host, core, "instructions")
+                for t in range(0, 100, 5):
+                    db.insert(topic, float(t), rate * t)
+        return db, schema
+
+    def test_instructions_heatmap_sums_cores(self):
+        db, schema = self._db_with_counters()
+        dashboard = Dashboard(db, ["mc-node-1", "mc-node-2"], schema=schema)
+        heatmap = dashboard.instructions_heatmap(0.0, 100.0, window_s=20.0)
+        # Node 1: 4 cores × 100 instr/s = 400/s.
+        assert heatmap.node_mean("mc-node-1") == pytest.approx(400.0)
+        assert heatmap.node_mean("mc-node-2") == pytest.approx(200.0)
+        assert heatmap.hottest_row() == "mc-node-1"
+
+    def test_heatmap_missing_node_is_none_row(self):
+        db, schema = self._db_with_counters()
+        dashboard = Dashboard(db, ["mc-node-1", "mc-node-9"], schema=schema)
+        heatmap = dashboard.instructions_heatmap(0.0, 100.0, window_s=20.0)
+        assert all(v is None for v in heatmap.rows["mc-node-9"])
+        with pytest.raises(ValueError):
+            heatmap.node_mean("mc-node-9")
+
+    def test_render_ascii_has_one_row_per_node(self):
+        db, schema = self._db_with_counters()
+        dashboard = Dashboard(db, ["mc-node-1", "mc-node-2"], schema=schema)
+        text = dashboard.instructions_heatmap(0.0, 100.0, 20.0).render_ascii()
+        assert text.count("mc-node-") == 2
+
+    def test_empty_time_range_rejected(self):
+        db, schema = self._db_with_counters()
+        dashboard = Dashboard(db, ["mc-node-1"], schema=schema)
+        with pytest.raises(ValueError):
+            dashboard.instructions_heatmap(10.0, 10.0, 1.0)
+
+    def test_thermal_timeline_reads_stats_topics(self):
+        db = TimeSeriesDB()
+        schema = TopicSchema()
+        topic = schema.stats_topic("mc-node-7", "temperature.cpu_temp")
+        for t in range(5):
+            db.insert(topic, float(t), 100.0 + t)
+        dashboard = Dashboard(db, ["mc-node-7"], schema=schema)
+        peaks = dashboard.peak_temperatures(0.0, 10.0)
+        assert peaks["mc-node-7"] == pytest.approx(104.0)

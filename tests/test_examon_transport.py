@@ -1,0 +1,155 @@
+"""Tests for ExaMon transport: topics, payloads, broker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.examon.broker import MQTTBroker
+from repro.examon.payload import decode_payload, encode_payload
+from repro.examon.topics import TopicSchema, topic_matches
+
+
+class TestTopicSchema:
+    SCHEMA = TopicSchema(org="unibo", cluster="montecimone")
+
+    def test_pmu_topic_matches_table_ii(self):
+        topic = self.SCHEMA.pmu_topic("mc-node-3", 2, "instructions")
+        assert topic == ("org/unibo/cluster/montecimone/node/mc-node-3"
+                         "/plugin/pmu_pub/chnl/data/core/2/instructions")
+
+    def test_stats_topic_uses_dstat_pub_directory(self):
+        # Table II quirk: stats_pub publishes under plugin/dstat_pub.
+        topic = self.SCHEMA.stats_topic("mc-node-1", "load_avg.1m")
+        assert "/plugin/dstat_pub/chnl/data/load_avg.1m" in topic
+
+    def test_parse_pmu_topic(self):
+        topic = self.SCHEMA.pmu_topic("mc-node-3", 2, "cycles")
+        fields = self.SCHEMA.parse(topic)
+        assert fields == {"org": "unibo", "cluster": "montecimone",
+                          "node": "mc-node-3", "plugin": "pmu_pub",
+                          "core": "2", "metric": "cycles"}
+
+    def test_parse_stats_topic(self):
+        fields = self.SCHEMA.parse(
+            self.SCHEMA.stats_topic("mc-node-1", "temperature.cpu_temp"))
+        assert fields["metric"] == "temperature.cpu_temp"
+        assert "core" not in fields
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(ValueError):
+            self.SCHEMA.parse("not/an/examon/topic")
+
+    def test_negative_core_rejected(self):
+        with pytest.raises(ValueError):
+            self.SCHEMA.pmu_topic("n", -1, "cycles")
+
+
+class TestWildcards:
+    def test_plus_matches_one_level(self):
+        assert topic_matches("a/+/c", "a/b/c")
+        assert not topic_matches("a/+/c", "a/b/b2/c")
+
+    def test_hash_matches_rest(self):
+        assert topic_matches("a/#", "a/b/c/d")
+        assert topic_matches("a/#", "a/b")
+
+    def test_exact_match(self):
+        assert topic_matches("a/b", "a/b")
+        assert not topic_matches("a/b", "a/b/c")
+
+    def test_interior_hash_rejected(self):
+        with pytest.raises(ValueError):
+            topic_matches("a/#/c", "a/b/c")
+
+    def test_all_nodes_pattern_covers_both_plugins(self):
+        schema = TopicSchema()
+        pattern = schema.all_nodes_pattern()
+        assert topic_matches(pattern, schema.pmu_topic("mc-node-5", 0, "cycles"))
+        assert topic_matches(pattern, schema.stats_topic("mc-node-5", "procs.run"))
+
+    @given(levels=st.lists(st.sampled_from(["a", "b", "node", "x1"]),
+                           min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_hash_is_superset_of_everything_under_prefix(self, levels):
+        """Property: 'prefix/#' matches every topic extending the prefix."""
+        topic = "/".join(levels)
+        assert topic_matches(levels[0] + "/#", topic) or len(levels) == 1
+
+
+class TestPayload:
+    def test_table_ii_format(self):
+        assert encode_payload(42.5, 1000.0) == "42.5;1000.0"
+
+    def test_roundtrip(self):
+        value, ts = decode_payload(encode_payload(3.14, 99.0))
+        assert (value, ts) == (3.14, 99.0)
+
+    def test_malformed_payloads_raise(self):
+        with pytest.raises(ValueError):
+            decode_payload("no-separator")
+        with pytest.raises(ValueError):
+            decode_payload("abc;def")
+
+    def test_non_numeric_value_rejected_on_encode(self):
+        with pytest.raises(TypeError):
+            encode_payload("hot", 1.0)
+
+    @given(value=st.floats(allow_nan=False, allow_infinity=False),
+           ts=st.floats(min_value=0, max_value=1e12))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, value, ts):
+        """Property: encode→decode is the identity on finite floats."""
+        decoded_value, decoded_ts = decode_payload(encode_payload(value, ts))
+        assert decoded_value == value
+        assert decoded_ts == ts
+
+
+class TestBroker:
+    def test_publish_delivers_to_matching_subscription(self):
+        broker = MQTTBroker()
+        received = []
+        broker.subscribe("client", "a/+/c", received.append)
+        assert broker.publish("a/b/c", "1;2", timestamp_s=2.0) == 1
+        assert received[0].topic == "a/b/c"
+
+    def test_non_matching_subscription_ignored(self):
+        broker = MQTTBroker()
+        received = []
+        broker.subscribe("client", "x/#", received.append)
+        assert broker.publish("a/b", "1;2", timestamp_s=2.0) == 0
+        assert received == []
+
+    def test_retained_message_delivered_to_late_subscriber(self):
+        broker = MQTTBroker()
+        broker.publish("a/b", "1;1", timestamp_s=1.0)
+        received = []
+        broker.subscribe("late", "a/#", received.append)
+        assert len(received) == 1
+        assert received[0].retained
+
+    def test_wildcard_publish_rejected(self):
+        with pytest.raises(ValueError):
+            MQTTBroker().publish("a/+/c", "1;1", timestamp_s=1.0)
+
+    def test_unsubscribe_stops_delivery(self):
+        broker = MQTTBroker()
+        received = []
+        subscription = broker.subscribe("c", "a/#", received.append)
+        broker.unsubscribe(subscription)
+        broker.publish("a/b", "1;1", timestamp_s=1.0)
+        assert received == []
+
+    def test_statistics(self):
+        broker = MQTTBroker()
+        broker.subscribe("c", "#", lambda m: None)
+        broker.publish("t", "1;1", timestamp_s=1.0)
+        broker.publish("t", "2;2", timestamp_s=2.0)
+        assert broker.messages_published == 2
+        assert broker.messages_delivered == 2
+        assert broker.bytes_published > 0
+
+    def test_retained_topics_sorted(self):
+        broker = MQTTBroker()
+        broker.publish("b/x", "1;1", timestamp_s=1.0)
+        broker.publish("a/y", "1;1", timestamp_s=1.0)
+        assert broker.retained_topics() == ["a/y", "b/x"]

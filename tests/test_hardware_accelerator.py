@@ -1,0 +1,92 @@
+"""Tests for the PCIe accelerator expansion model (§VI future work)."""
+
+import pytest
+
+from repro.hardware.accelerator import (
+    AcceleratorCard,
+    PCIeSlot,
+    RISCV_VECTOR_CARD,
+    SlotError,
+)
+from repro.hardware.specs import U740_SPEC
+
+
+class TestPCIeSlot:
+    def test_unmatched_slot_shape(self):
+        # §III: PCIe Gen 3 x16 connector limited to x8 lanes.
+        slot = PCIeSlot()
+        assert slot.generation == 3
+        assert slot.mechanical_lanes == 16
+        assert slot.electrical_lanes == 8
+
+    def test_link_negotiates_down_to_electrical_lanes(self):
+        slot = PCIeSlot()
+        x16 = slot.link_bandwidth_bytes_per_s(16)
+        x8 = slot.link_bandwidth_bytes_per_s(8)
+        assert x16 == x8  # only 8 lanes are wired
+        assert x8 == pytest.approx(8 * 0.985e9)
+
+
+class TestAcceleratorCard:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorCard(name="bad", tdp_w=10.0, idle_w=20.0,
+                            peak_flops=1e9)
+        with pytest.raises(ValueError):
+            AcceleratorCard(name="bad", tdp_w=10.0, idle_w=1.0,
+                            peak_flops=1e9, lanes=3)
+
+    def test_power_curve(self):
+        card = RISCV_VECTOR_CARD
+        assert card.power_w(0.0) == pytest.approx(9.0)
+        assert card.power_w(1.0) == pytest.approx(60.0)
+        assert card.power_w(0.5) == pytest.approx(34.5)
+
+    def test_validate_in_unmatched_slot(self):
+        bandwidth = RISCV_VECTOR_CARD.validate_in(PCIeSlot(),
+                                                  psu_headroom_w=240.0)
+        assert bandwidth == pytest.approx(8 * 0.985e9)
+
+    def test_psu_headroom_abundant_for_the_vector_card(self):
+        """§III's 'abundant power headroom' claim, quantified: a 250 W PSU
+        minus the ~6 W node leaves > 240 W — the 60 W card fits 4× over."""
+        node_power = 5.935
+        headroom = 250.0 - node_power
+        RISCV_VECTOR_CARD.validate_in(PCIeSlot(), psu_headroom_w=headroom)
+        assert headroom / RISCV_VECTOR_CARD.tdp_w > 4
+
+    def test_overbudget_card_rejected(self):
+        hungry = AcceleratorCard(name="x", tdp_w=70.0, idle_w=10.0,
+                                 peak_flops=1e12, lanes=8)
+        with pytest.raises(SlotError, match="headroom"):
+            hungry.validate_in(PCIeSlot(), psu_headroom_w=50.0)
+
+    def test_slot_power_budget_without_aux(self):
+        hot = AcceleratorCard(name="x", tdp_w=150.0, idle_w=10.0,
+                              peak_flops=1e12, lanes=8)
+        with pytest.raises(SlotError, match="75 W"):
+            hot.validate_in(PCIeSlot(), psu_headroom_w=240.0)
+
+    def test_aux_power_lifts_slot_budget(self):
+        hot = AcceleratorCard(name="x", tdp_w=150.0, idle_w=10.0,
+                              peak_flops=1e12, lanes=8,
+                              requires_aux_power=True)
+        hot.validate_in(PCIeSlot(), psu_headroom_w=240.0)
+
+    def test_offload_speedup_dwarfs_host(self):
+        """The 64 GFLOP/s card vs the 4 GFLOP/s U740: offloading 90% of a
+        DGEMM-heavy workload is a ~4-5× node speedup (Amdahl-limited by
+        the host-resident 10%)."""
+        speedup = RISCV_VECTOR_CARD.offload_speedup(
+            host_peak_flops=U740_SPEC.peak_flops, offload_fraction=0.9)
+        assert 4.0 < speedup < 8.0
+
+    def test_offload_zero_fraction_is_identity(self):
+        assert RISCV_VECTOR_CARD.offload_speedup(
+            U740_SPEC.peak_flops, 0.0) == pytest.approx(1.0)
+
+    def test_offload_validation(self):
+        with pytest.raises(ValueError):
+            RISCV_VECTOR_CARD.offload_speedup(4e9, 1.5)
+        with pytest.raises(ValueError):
+            RISCV_VECTOR_CARD.power_w(-0.1)

@@ -1,0 +1,127 @@
+"""Tests for Spack lockfiles and SLURM job dependencies."""
+
+import json
+
+import pytest
+
+from repro.slurm.job import JobState
+from repro.spack.concretizer import Concretizer
+from repro.spack.environment import SpackEnvironment
+from repro.spack.lockfile import LockfileError, read_lockfile, write_lockfile
+from repro.spack.spec import Spec
+from tests.test_slurm import make_controller
+
+
+class TestLockfile:
+    def _roots(self):
+        concretizer = Concretizer()
+        return [concretizer.concretize(Spec.parse(text))
+                for text in ("hpl@2.3", "stream@5.10")]
+
+    def test_roundtrip_preserves_hashes(self):
+        roots = self._roots()
+        rebuilt = read_lockfile(write_lockfile(roots))
+        assert [r.dag_hash() for r in rebuilt] == \
+            [r.dag_hash() for r in roots]
+
+    def test_roundtrip_preserves_versions_and_targets(self):
+        rebuilt = read_lockfile(write_lockfile(self._roots()))
+        hpl = rebuilt[0]
+        assert str(hpl.version) == "2.3"
+        assert hpl.target == "u74mc"
+        assert str(hpl.dependencies["openblas"].version) == "0.3.18"
+
+    def test_shared_nodes_stay_shared(self):
+        """openblas appears once in the closure and is one object after
+        rebuild (the DAG-unification invariant survives serialisation)."""
+        concretizer = Concretizer()
+        root = concretizer.concretize(Spec.parse("netlib-scalapack@2.1.0"))
+        rebuilt = read_lockfile(write_lockfile([root]))[0]
+        direct = rebuilt.dependencies["openblas"]
+        via_lapack = rebuilt.dependencies["netlib-lapack"] \
+            .dependencies["openblas"]
+        assert direct is via_lapack
+
+    def test_whole_environment_locks(self):
+        roots = SpackEnvironment.monte_cimone().concretize()
+        rebuilt = read_lockfile(write_lockfile(roots))
+        assert len(rebuilt) == 9
+
+    def test_abstract_root_rejected(self):
+        with pytest.raises(LockfileError, match="not concrete"):
+            write_lockfile([Spec.parse("hpl")])
+
+    def test_tampered_lockfile_detected(self):
+        text = write_lockfile(self._roots())
+        payload = json.loads(text)
+        some_hash = payload["roots"][0]
+        payload["concrete_specs"][some_hash]["version"] = "9.9"
+        with pytest.raises(LockfileError, match="hash mismatch"):
+            read_lockfile(json.dumps(payload))
+
+    def test_wrong_file_type_rejected(self):
+        with pytest.raises(LockfileError):
+            read_lockfile(json.dumps({"_meta": {"file-type": "other"}}))
+        with pytest.raises(LockfileError, match="not JSON"):
+            read_lockfile("{broken")
+
+
+class TestJobDependencies:
+    def test_afterok_waits_for_parent(self):
+        controller = make_controller(n_nodes=4)
+        parent = controller.submit("parent", "u", 1, duration_s=10.0)
+        child = controller.submit("child", "u", 1, duration_s=5.0,
+                                  depends_on=[parent.job_id])
+        # Nodes are free, but the child must hold for its dependency.
+        assert parent.state is JobState.RUNNING
+        assert child.state is JobState.PENDING
+        controller.engine.run()
+        assert child.state is JobState.COMPLETED
+        assert child.start_time_s >= parent.end_time_s
+
+    def test_failed_parent_cancels_child(self):
+        controller = make_controller(n_nodes=1)
+        parent = controller.submit("parent", "u", 1, duration_s=100.0,
+                                   time_limit_s=10.0)  # will TIMEOUT
+        child = controller.submit("child", "u", 1, duration_s=5.0,
+                                  depends_on=[parent.job_id])
+        controller.engine.run()
+        assert parent.state is JobState.TIMEOUT
+        assert child.state is JobState.CANCELLED
+        assert child.exit_reason == "DependencyNeverSatisfied"
+
+    def test_held_job_does_not_block_the_queue(self):
+        controller = make_controller(n_nodes=2)
+        parent = controller.submit("parent", "u", 1, duration_s=50.0)
+        held = controller.submit("held", "u", 1, duration_s=5.0,
+                                 depends_on=[parent.job_id])
+        independent = controller.submit("indep", "u", 1, duration_s=5.0)
+        # The held job must not stop the independent one from starting.
+        assert independent.state is JobState.RUNNING
+        controller.engine.run()
+        assert held.state is JobState.COMPLETED
+
+    def test_dependency_chain(self):
+        controller = make_controller(n_nodes=4)
+        a = controller.submit("a", "u", 1, duration_s=5.0)
+        b = controller.submit("b", "u", 1, duration_s=5.0,
+                              depends_on=[a.job_id])
+        c = controller.submit("c", "u", 1, duration_s=5.0,
+                              depends_on=[b.job_id])
+        controller.engine.run()
+        assert a.end_time_s <= b.start_time_s
+        assert b.end_time_s <= c.start_time_s
+
+    def test_unknown_dependency_rejected(self):
+        controller = make_controller()
+        with pytest.raises(KeyError):
+            controller.submit("x", "u", 1, duration_s=1.0, depends_on=[99])
+
+    def test_multiple_dependencies_all_required(self):
+        controller = make_controller(n_nodes=4)
+        a = controller.submit("a", "u", 1, duration_s=5.0)
+        b = controller.submit("b", "u", 1, duration_s=20.0)
+        child = controller.submit("child", "u", 1, duration_s=2.0,
+                                  depends_on=[a.job_id, b.job_id])
+        controller.engine.run()
+        assert child.start_time_s >= b.end_time_s

@@ -1,0 +1,90 @@
+"""Tests for the performance-analysis layer: roofline, scaling, machines."""
+
+import pytest
+
+from repro.benchmarks.hpl import HPLModel
+from repro.hardware.specs import MONTE_CIMONE_NODE
+from repro.perf.machines import compare_machine, utilisation_table
+from repro.perf.roofline import Roofline, RooflinePoint
+from repro.perf.scaling import strong_scaling_table
+
+
+class TestRoofline:
+    ROOFLINE = Roofline()
+
+    def test_peaks(self):
+        assert self.ROOFLINE.peak_gflops == pytest.approx(4.0)
+        assert self.ROOFLINE.peak_bandwidth_gb_s == pytest.approx(7.76)
+
+    def test_ridge_point(self):
+        # 4 GFLOP/s over 7.76 GB/s: ridge at ~0.515 FLOP/byte.
+        assert self.ROOFLINE.ridge_intensity == pytest.approx(0.515, abs=0.01)
+
+    def test_attainable_below_and_above_ridge(self):
+        low = self.ROOFLINE.attainable_gflops(0.1)
+        assert low == pytest.approx(0.776)
+        assert self.ROOFLINE.attainable_gflops(10.0) == pytest.approx(4.0)
+
+    def test_compute_vs_memory_bound(self):
+        assert self.ROOFLINE.is_compute_bound(8.0)       # HPL
+        assert not self.ROOFLINE.is_compute_bound(0.083)  # STREAM triad
+
+    def test_paper_points_lie_under_the_roof(self):
+        for point in self.ROOFLINE.paper_points():
+            assert self.ROOFLINE.check_point(point), point.label
+
+    def test_point_above_roof_detected(self):
+        bogus = RooflinePoint("impossible", 10.0, 5.0)
+        assert not self.ROOFLINE.check_point(bogus)
+
+    def test_point_validation(self):
+        with pytest.raises(ValueError):
+            RooflinePoint("bad", -1.0, 1.0)
+
+
+class TestScalingTable:
+    def test_needs_single_node_baseline(self):
+        with pytest.raises(ValueError):
+            strong_scaling_table(HPLModel(), node_counts=(2, 4))
+
+    def test_baseline_speedup_is_one(self):
+        points = strong_scaling_table(HPLModel())
+        assert points[0].n_nodes == 1
+        assert points[0].speedup == pytest.approx(1.0)
+
+    def test_fraction_of_linear_decreasing(self):
+        points = strong_scaling_table(HPLModel())
+        fractions = [p.fraction_of_linear for p in points]
+        assert fractions == sorted(fractions, reverse=True)
+
+
+class TestMachineComparison:
+    TABLE = utilisation_table()
+
+    def test_all_three_machines_present(self):
+        assert set(self.TABLE) == {"montecimone", "marconi100power9",
+                                   "armidathunderx2"}
+
+    def test_paper_fraction_ordering(self):
+        # Armida > Marconi100 > Monte Cimone on both metrics (§V-A).
+        hpl = {m: row.hpl_fraction for m, row in self.TABLE.items()}
+        stream = {m: row.stream_fraction for m, row in self.TABLE.items()}
+        assert (hpl["armidathunderx2"] > hpl["marconi100power9"]
+                > hpl["montecimone"])
+        assert (stream["armidathunderx2"] > stream["marconi100power9"]
+                > stream["montecimone"])
+
+    def test_monte_cimone_row(self):
+        row = self.TABLE["montecimone"]
+        assert row.isa == "RV64GCB"
+        assert row.peak_gflops == pytest.approx(4.0)
+        assert row.hpl_gflops == pytest.approx(1.86, abs=0.04)
+
+    def test_stream_fraction_close_to_paper(self):
+        row = self.TABLE["montecimone"]
+        assert row.stream_fraction == pytest.approx(0.155, abs=0.003)
+
+    def test_compare_machine_is_deterministic(self):
+        first = compare_machine(MONTE_CIMONE_NODE)
+        second = compare_machine(MONTE_CIMONE_NODE)
+        assert first == second

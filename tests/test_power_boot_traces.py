@@ -1,0 +1,131 @@
+"""Tests for the boot power sequence (Fig. 4) and trace synthesis (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.power.boot import BOOT_PHASES, BootPowerModel
+from repro.power.model import NodePhase
+from repro.power.traces import RAIL_GROUPS, TraceSynthesizer, activity_modulation
+
+
+class TestBootTimeline:
+    def test_r1_spans_4_to_10_seconds(self):
+        # Fig. 4: region R1 at 4 s < t < 10 s.
+        r1 = next(p for p in BOOT_PHASES if p.name == "R1")
+        assert (r1.start_s, r1.end_s) == (4.0, 10.0)
+
+    def test_phases_are_contiguous(self):
+        for earlier, later in zip(BOOT_PHASES, BOOT_PHASES[1:]):
+            assert earlier.end_s == later.start_s
+
+    def test_phase_at_lookup(self):
+        boot = BootPowerModel()
+        assert boot.phase_at(5.0).name == "R1"
+        assert boot.phase_at(15.0).name == "R2"
+        assert boot.phase_at(60.0).name == "R3"
+        assert boot.phase_at(1.0).phase is NodePhase.OFF
+
+
+class TestBootAverages:
+    BOOT = BootPowerModel()
+
+    def test_r1_core_leakage_0_984_w(self):
+        assert self.BOOT.region_average_mw("R1", "core") == \
+            pytest.approx(984, abs=5)
+
+    def test_r2_core_2_561_w(self):
+        assert self.BOOT.region_average_mw("R2", "core") == \
+            pytest.approx(2561, abs=5)
+
+    def test_r3_core_settles_near_3_082_w(self):
+        # Early R3 shows ~3.082 W decaying toward the 3.075 W idle value.
+        early = self.BOOT.region_average_mw("R3", "core", margin_s=2.0)
+        assert 3075 <= early <= 3090
+
+    def test_ddr_mem_r1_leakage_0_275_w(self):
+        assert self.BOOT.region_average_mw("R1", "ddr_mem") == \
+            pytest.approx(275, abs=3)
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(KeyError):
+            self.BOOT.region_average_mw("R9", "core")
+
+
+class TestDecompositionFractions:
+    def test_paper_percentages(self):
+        decomposition = BootPowerModel().decomposition()
+        # §V-B: 32% leakage, 51% dynamic + clock tree, 17% OS.
+        assert decomposition["leakage"] == pytest.approx(0.32, abs=0.01)
+        assert decomposition["clock_and_dynamic"] == pytest.approx(0.51, abs=0.01)
+        assert decomposition["os_baseline"] == pytest.approx(0.17, abs=0.01)
+
+    def test_fractions_sum_to_one(self):
+        assert sum(BootPowerModel().decomposition().values()) == \
+            pytest.approx(1.0)
+
+
+class TestTraceSynthesizer:
+    def test_deterministic_across_instances(self):
+        a = TraceSynthesizer(seed=7).benchmark_trace("hpl", "core")
+        b = TraceSynthesizer(seed=7).benchmark_trace("hpl", "core")
+        assert np.array_equal(a.power_w, b.power_w)
+
+    def test_different_seeds_differ(self):
+        a = TraceSynthesizer(seed=1).benchmark_trace("hpl", "core")
+        b = TraceSynthesizer(seed=2).benchmark_trace("hpl", "core")
+        assert not np.array_equal(a.power_w, b.power_w)
+
+    def test_hpl_core_trace_mean_near_table_vi(self):
+        trace = TraceSynthesizer().benchmark_trace("hpl", "core")
+        assert trace.mean_w() == pytest.approx(4.097, abs=0.12)
+
+    def test_trace_has_1ms_windows_for_8_seconds(self):
+        trace = TraceSynthesizer().benchmark_trace("qe", "core")
+        assert trace.window_s == 1e-3
+        assert len(trace.times_s) == 8000
+
+    def test_hpl_trace_shows_panel_dips(self):
+        trace = TraceSynthesizer().benchmark_trace("hpl", "core")
+        # The panel/broadcast dips pull minima well below the mean.
+        assert trace.power_w.min() < 0.93 * trace.mean_w()
+
+    def test_idle_trace_is_flat(self):
+        trace = TraceSynthesizer().benchmark_trace("idle", "core")
+        assert trace.std_w() < 0.05 * trace.mean_w()
+
+    def test_unknown_workload_or_group_raises(self):
+        synth = TraceSynthesizer()
+        with pytest.raises(KeyError):
+            synth.benchmark_trace("nonexistent")
+        with pytest.raises(KeyError):
+            synth.benchmark_trace("hpl", "nonexistent")
+
+    def test_boot_trace_covers_regions(self):
+        trace = TraceSynthesizer().boot_trace("core")
+        # Sample means in each region follow the R1 < R2 < R3 staircase.
+        def region_mean(lo, hi):
+            mask = (trace.times_s >= lo) & (trace.times_s < hi)
+            return float(trace.power_w[mask].mean())
+        assert region_mean(0, 4) < 0.2
+        assert region_mean(5, 10) == pytest.approx(0.984, abs=0.05)
+        assert region_mean(11, 25) == pytest.approx(2.561, abs=0.08)
+        assert region_mean(45, 80) == pytest.approx(3.08, abs=0.08)
+
+    def test_all_benchmark_traces_cover_grid(self):
+        traces = TraceSynthesizer().all_benchmark_traces(duration_s=1.0)
+        assert set(traces) == {"hpl", "stream_l2", "stream_ddr", "qe"}
+        for groups in traces.values():
+            assert set(groups) == set(RAIL_GROUPS)
+
+
+class TestActivityModulation:
+    def test_idle_is_flat(self):
+        assert activity_modulation("idle", 3.7) == 1.0
+
+    def test_unknown_workload_is_flat(self):
+        assert activity_modulation("mystery", 1.0) == 1.0
+
+    def test_hpl_dips_during_panel_phase(self):
+        values = [activity_modulation("hpl", t / 10) for t in range(60)]
+        assert min(values) < 0.85
+        assert max(values) > 0.95

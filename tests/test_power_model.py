@@ -1,0 +1,137 @@
+"""Tests for the calibrated power model against Table VI.
+
+These are the central calibration asserts of the power reproduction: each
+rail of each column must land within tight tolerances of the paper's
+milliwatt readings, and the derived percentages (§I/§V-B) must match.
+"""
+
+import pytest
+
+from repro.power.model import (
+    HPL_PROFILE,
+    IDLE_PROFILE,
+    NodePhase,
+    QE_PROFILE,
+    RailPowerModel,
+    STREAM_DDR_PROFILE,
+    STREAM_L2_PROFILE,
+    TABLE_VI_MILLIWATTS,
+    WorkloadProfile,
+)
+
+MODEL = RailPowerModel()
+
+RUN_COLUMNS = {
+    "idle": IDLE_PROFILE,
+    "hpl": HPL_PROFILE,
+    "stream_l2": STREAM_L2_PROFILE,
+    "stream_ddr": STREAM_DDR_PROFILE,
+    "qe": QE_PROFILE,
+}
+
+
+class TestWorkloadProfile:
+    def test_validation_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="bad", utilisation=1.2)
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="bad", ipc=2.5)
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="bad", ddr_data_activity=-0.1)
+
+    def test_idle_profile_is_quiescent(self):
+        assert IDLE_PROFILE.utilisation == 0.0
+        assert IDLE_PROFILE.ddr_data_activity == 0.0
+
+
+@pytest.mark.parametrize("column", list(RUN_COLUMNS))
+class TestTableVIRunColumns:
+    def test_each_rail_within_tolerance(self, column):
+        modelled = MODEL.rail_powers_mw(NodePhase.R3_OS, RUN_COLUMNS[column])
+        reference = TABLE_VI_MILLIWATTS[column]
+        for rail, paper_mw in reference.items():
+            assert modelled[rail] == pytest.approx(paper_mw, abs=25.0), \
+                f"{column}/{rail}: model {modelled[rail]:.1f} vs paper {paper_mw}"
+
+    def test_total_within_one_percent(self, column):
+        total = sum(MODEL.rail_powers_mw(NodePhase.R3_OS,
+                                         RUN_COLUMNS[column]).values())
+        paper_total = sum(TABLE_VI_MILLIWATTS[column].values())
+        assert total == pytest.approx(paper_total, rel=0.01)
+
+
+class TestBootColumns:
+    def test_r1_matches_exactly(self):
+        modelled = MODEL.rail_powers_mw(NodePhase.R1_POWER_ON)
+        assert modelled == pytest.approx(TABLE_VI_MILLIWATTS["boot_r1"])
+
+    def test_r2_within_tolerance(self):
+        modelled = MODEL.rail_powers_mw(NodePhase.R2_BOOTLOADER)
+        for rail, paper_mw in TABLE_VI_MILLIWATTS["boot_r2"].items():
+            assert modelled[rail] == pytest.approx(paper_mw, abs=25.0)
+
+    def test_off_is_zero(self):
+        modelled = MODEL.rail_powers_mw(NodePhase.OFF)
+        assert all(v == 0.0 for v in modelled.values())
+
+
+class TestHeadlineNumbers:
+    def test_idle_total_4_81_w(self):
+        assert MODEL.total_w(NodePhase.R3_OS, IDLE_PROFILE) == \
+            pytest.approx(4.810, abs=0.02)
+
+    def test_hpl_total_5_935_w(self):
+        assert MODEL.total_w(NodePhase.R3_OS, HPL_PROFILE) == \
+            pytest.approx(5.935, abs=0.03)
+
+    def test_hpl_is_the_most_power_hungry(self):
+        totals = {name: MODEL.total_w(NodePhase.R3_OS, profile)
+                  for name, profile in RUN_COLUMNS.items()}
+        assert max(totals, key=totals.get) == "hpl"
+
+    def test_core_share_of_idle_is_64_percent(self):
+        rails = MODEL.rail_powers_mw(NodePhase.R3_OS, IDLE_PROFILE)
+        assert rails["core"] / sum(rails.values()) == pytest.approx(0.64, abs=0.01)
+
+    def test_pci_share_of_idle_is_23_percent(self):
+        rails = MODEL.rail_powers_mw(NodePhase.R3_OS, IDLE_PROFILE)
+        pci = rails["pcievp"] + rails["pcievph"]
+        assert pci / sum(rails.values()) == pytest.approx(0.23, abs=0.015)
+
+    def test_pcie_always_one_watt_with_empty_slot(self):
+        # §V-B: "The PCIe subsystem consistently requires 1 Watt ... even
+        # if nothing is attached".
+        for profile in RUN_COLUMNS.values():
+            rails = MODEL.rail_powers_mw(NodePhase.R3_OS, profile)
+            assert rails["pcievp"] + rails["pcievph"] == \
+                pytest.approx(1080, abs=30)
+
+    def test_ddr_share_between_12_and_18_percent(self):
+        # §V-B: "DDR memory subsystem power consumption sits between 12%
+        # and 18% of the overall".
+        for profile in RUN_COLUMNS.values():
+            rails = MODEL.rail_powers_mw(NodePhase.R3_OS, profile)
+            ddr = (rails["ddr_soc"] + rails["ddr_mem"] + rails["ddr_pll"]
+                   + rails["ddr_vpp"])
+            assert 0.11 <= ddr / sum(rails.values()) <= 0.18
+
+
+class TestDecomposition:
+    def test_core_components_sum_to_idle_core(self):
+        components = MODEL.core_components_mw()
+        assert sum(components.values()) == pytest.approx(3075, abs=1)
+
+    def test_component_values(self):
+        components = MODEL.core_components_mw()
+        assert components["leakage"] == pytest.approx(984)
+        assert components["clock_and_dynamic"] == pytest.approx(1577)
+        assert components["os_baseline"] == pytest.approx(514)
+
+    def test_monotone_in_activity(self):
+        """More utilisation can only draw more core power."""
+        low = WorkloadProfile(name="low", utilisation=0.3, ipc=1.0,
+                              flop_fraction=0.2)
+        high = WorkloadProfile(name="high", utilisation=0.9, ipc=1.0,
+                               flop_fraction=0.2)
+        assert (MODEL.rail_powers_mw(NodePhase.R3_OS, high)["core"]
+                > MODEL.rail_powers_mw(NodePhase.R3_OS, low)["core"])
