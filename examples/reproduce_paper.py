@@ -24,9 +24,11 @@ def main() -> None:
         Path(__file__).resolve().parents[1] / "EXPERIMENTS.md")
     print("== Regenerating every table and figure ==")
     print("(the Fig. 5/Fig. 6 cluster simulations take a minute)")
-    started = time.time()
+    # Host-side progress timing, not simulated time: the report content
+    # itself is fully deterministic regardless of how long this takes.
+    started = time.time()  # simlint: disable=DET101  (host-side progress timer)
     report = generate_experiments_report(full_sim_duration_s=600.0)
-    elapsed = time.time() - started
+    elapsed = time.time() - started  # simlint: disable=DET101  (host-side progress timer)
     output.write_text(report)
     print(f"\nwrote {output} ({len(report)} chars) in {elapsed:.1f} s")
     print("\n" + "\n".join(report.splitlines()[:40]))

@@ -7,6 +7,7 @@ Commands
 ``scaling``     print the Fig. 2 strong-scaling table and ASCII plot
 ``stack``       deploy the Table I software stack and list it
 ``power``       print the Table VI power model and boot decomposition
+``lint``        run simlint (determinism / engine / calibration / units)
 """
 
 from __future__ import annotations
@@ -91,6 +92,17 @@ def _cmd_power(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv = list(args.paths) or ["src"]
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
+    return lint_main(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch."""
     parser = argparse.ArgumentParser(
@@ -109,6 +121,14 @@ def main(argv: list[str] | None = None) -> int:
     validate.add_argument("--slow", action="store_true",
                           help="include the Fig. 6 cluster simulation")
     validate.set_defaults(func=_cmd_validate)
+
+    lint = subparsers.add_parser(
+        "lint", help="run simlint over the source tree")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--show-suppressed", action="store_true")
+    lint.set_defaults(func=_cmd_lint)
 
     for name, func, help_text in [
         ("quickstart", _cmd_quickstart, "boot the cluster, run HPL"),

@@ -1,0 +1,95 @@
+"""The ``python -m repro.lint`` command-line interface.
+
+Exit codes: 0 clean, 1 unsuppressed findings, 2 usage error — so CI can
+gate on the same invariants the test-suite asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.registry import Rule, all_rules
+from repro.lint.report import render_json, render_text
+from repro.lint.runner import lint_paths
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="simlint: determinism / engine / calibration / unit checks")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format")
+    parser.add_argument("--select", default="",
+                        help="comma-separated rule ids or families to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", default="",
+                        help="comma-separated rule ids or families to skip")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="include suppressed findings in the report")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _split_selectors(raw: str) -> List[str]:
+    return [part.strip().upper() for part in raw.split(",") if part.strip()]
+
+
+def _selected_rules(select: str, ignore: str) -> List[Rule]:
+    rules = all_rules()
+    selected = _split_selectors(select)
+    ignored = _split_selectors(ignore)
+    if selected:
+        rules = [rule for rule in rules
+                 if rule.id in selected or rule.family in selected]
+    if ignored:
+        rules = [rule for rule in rules
+                 if rule.id not in ignored and rule.family not in ignored]
+    return rules
+
+
+def _render_catalogue() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id:8s} {rule.severity.value:8s} {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_render_catalogue())
+        return 0
+
+    rules = _selected_rules(args.select, args.ignore)
+    if not rules:
+        parser.error(f"no rules match --select={args.select!r} "
+                     f"--ignore={args.ignore!r}")
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        # A typo'd path must not read as "clean in 0 files" to CI.
+        parser.error(f"path does not exist: {', '.join(missing)}")
+
+    result = lint_paths(args.paths, rules=rules)
+    report = (render_json if args.format == "json" else render_text)(
+        result, show_suppressed=args.show_suppressed)
+    try:
+        print(report)
+    except BrokenPipeError:  # e.g. `repro.lint ... | head`
+        pass
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Finding and severity types shared by every simlint rule."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad an unsuppressed finding is.
+
+    ``ERROR`` findings break the determinism/calibration contract outright;
+    ``WARNING`` findings are strong smells that occasionally have legitimate
+    exceptions (which should be suppressed with a justification comment).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Findings sort by location so reports are stable regardless of the order
+    rules ran in.  ``suppressed`` is set by the runner when an inline
+    ``# simlint: disable=`` comment covers the finding; suppressed findings
+    never affect the exit code but can be shown with ``--show-suppressed``.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity = field(compare=False)
+    message: str = field(compare=False)
+    suppressed: bool = field(default=False, compare=False)
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable half of a report line."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        """One report line: location, severity, rule id, message."""
+        tag = " (suppressed)" if self.suppressed else ""
+        return (f"{self.location()}: {self.severity} "
+                f"[{self.rule_id}] {self.message}{tag}")

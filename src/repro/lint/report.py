@@ -1,0 +1,54 @@
+"""Rendering of lint results as text (for terminals/CI) or JSON (for tools)."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.findings import Finding
+from repro.lint.runner import LintResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def _summary_line(result: LintResult, shown: List[Finding]) -> str:
+    active = len(result.active)
+    suppressed = len(result.suppressed)
+    if not shown and not active:
+        verdict = "clean"
+    else:
+        noun = "finding" if active == 1 else "findings"
+        verdict = f"{active} {noun}"
+    return (f"simlint: {verdict} in {result.files_checked} files"
+            f" ({suppressed} suppressed)")
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    shown = result.findings if show_suppressed else result.active
+    lines = [finding.render() for finding in shown]
+    lines.append(_summary_line(result, shown))
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, show_suppressed: bool = False) -> str:
+    """Machine-readable report with the same content as the text form."""
+    shown = result.findings if show_suppressed else result.active
+    payload = {
+        "files_checked": result.files_checked,
+        "active": len(result.active),
+        "suppressed": len(result.suppressed),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule_id,
+                "severity": str(finding.severity),
+                "message": finding.message,
+                "suppressed": finding.suppressed,
+            }
+            for finding in shown
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,15 @@
+"""Rule catalogue: importing this package registers every rule.
+
+Families
+--------
+* ``DET1xx`` — determinism (:mod:`repro.lint.rules.determinism`)
+* ``ENG2xx`` — event-engine discipline (:mod:`repro.lint.rules.engine_discipline`)
+* ``CAL3xx`` — calibration hygiene (:mod:`repro.lint.rules.calibration`)
+* ``UNIT4xx`` — unit-suffix consistency (:mod:`repro.lint.rules.units`)
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import calibration, determinism, engine_discipline, units
+
+__all__ = ["determinism", "engine_discipline", "calibration", "units"]

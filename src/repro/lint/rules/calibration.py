@@ -1,0 +1,128 @@
+"""CAL rules — datasheet constants must be imported, never re-typed.
+
+:mod:`repro.hardware.specs` is the single calibration anchor of the whole
+reproduction: every efficiency ratio in the evaluation is a ratio against
+the peaks it declares (7760 MB/s DDR bandwidth, 1.2 GHz clock, ...).  A
+module that re-types one of those numbers as a literal keeps working today
+and silently diverges the day the spec is corrected — so the linter treats
+any literal equal to a distinctive spec constant as a duplicate.
+
+"Distinctive" filters out numerology noise: only literals with magnitude
+>= 1000 that are not exact powers of two or ten become anchors, so ``64``,
+``1024`` or ``1e9`` in unrelated code never match.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import math
+from typing import Dict, Iterator, Tuple
+
+from repro.lint.astutil import ancestors
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: Module holding the calibration anchors, and its path suffix (the file is
+#: exempt from CAL301 — it is the one place the literals belong).
+SPECS_MODULE = "repro.hardware.specs"
+SPECS_PATH_SUFFIX = "repro/hardware/specs.py"
+
+#: Smallest magnitude considered distinctive enough to anchor on.
+_MIN_ANCHOR_MAGNITUDE = 1000.0
+
+
+def _is_distinctive(value: float) -> bool:
+    """True for values specific enough that a match is no coincidence."""
+    magnitude = abs(value)
+    if not math.isfinite(magnitude) or magnitude < _MIN_ANCHOR_MAGNITUDE:
+        return False
+    for base in (2.0, 10.0):
+        exponent = round(math.log(magnitude, base))
+        if math.isclose(magnitude, base ** exponent, rel_tol=0.0, abs_tol=0.0):
+            return False
+    return True
+
+
+def _context_name(node: ast.AST) -> str:
+    """A human label for where a constant sits in specs.py."""
+    for parent in ancestors(node):
+        if isinstance(parent, ast.keyword) and parent.arg:
+            return parent.arg
+        if isinstance(parent, ast.Assign):
+            targets = [t.id for t in parent.targets if isinstance(t, ast.Name)]
+            if targets:
+                return targets[0]
+        if isinstance(parent, ast.AnnAssign) and isinstance(parent.target, ast.Name):
+            return parent.target.id
+    return "constant"
+
+
+def _load_specs_context() -> "ModuleContext | None":
+    import importlib.util
+
+    spec = importlib.util.find_spec(SPECS_MODULE)
+    if spec is None or not spec.origin:
+        return None
+    try:
+        from pathlib import Path
+
+        source = Path(spec.origin).read_text(encoding="utf-8")
+        return ModuleContext.from_source(source, path=spec.origin)
+    except (OSError, SyntaxError):
+        return None
+
+
+@functools.lru_cache(maxsize=1)
+def anchor_values() -> Dict[float, Tuple[str, int]]:
+    """Distinctive numeric literals in specs.py: value → (name, line).
+
+    Cached for the lifetime of the process; an unimportable specs module
+    yields an empty anchor set (the rule then finds nothing, rather than
+    crashing a lint run over an unrelated tree).
+    """
+    ctx = _load_specs_context()
+    if ctx is None:
+        return {}
+    anchors: Dict[float, Tuple[str, int]] = {}
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Constant):
+            continue
+        value = node.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if _is_distinctive(float(value)):
+            anchors.setdefault(float(value), (_context_name(node), node.lineno))
+    return anchors
+
+
+@register
+class DuplicatedSpecConstantRule(Rule):
+    """CAL301: a literal duplicates a datasheet constant from specs.py."""
+
+    id = "CAL301"
+    family = "CAL"
+    severity = Severity.ERROR
+    summary = "numeric literal duplicates a hardware/specs.py datasheet constant"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.is_module(SPECS_PATH_SUFFIX):
+            return
+        anchors = anchor_values()
+        if not anchors:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            match = anchors.get(float(value))
+            if match is None:
+                continue
+            name, line = match
+            yield self.finding(
+                ctx, node,
+                f"literal {value!r} duplicates the datasheet constant "
+                f"{name!r} (hardware/specs.py:{line}); import it from "
+                f"{SPECS_MODULE} so a spec correction propagates everywhere")

@@ -1,0 +1,161 @@
+"""DET rules — nothing in the simulation may be a hidden source of entropy.
+
+The event kernel (:mod:`repro.events.engine`) documents determinism as a
+hard requirement: the benchmark harness asserts on simulated measurements,
+so a run that cannot be replayed is a run that cannot be falsified.  These
+rules catch the four ways entropy has actually leaked into simulation
+codebases: wall-clock reads, module-level RNG state, unseeded generators,
+and Python's per-process-salted ``hash()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import ancestors, dotted_name
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: Call targets that read the host's wall clock.
+_WALL_CLOCK = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+}
+
+#: ``datetime``-style "now" constructors, matched by chain suffix so both
+#: ``datetime.now()`` and ``datetime.datetime.now()`` are caught.
+_NOW_SUFFIXES = ("datetime.now", "datetime.utcnow", "datetime.today", "date.today")
+
+#: ``numpy.random`` entry points that are deterministic *constructors*
+#: rather than draws from the hidden global ``RandomState``.
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "RandomState",
+                 "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64"}
+
+
+def _np_random_target(name: str) -> str:
+    """The function name when ``name`` is a ``numpy.random`` access, else ``""``."""
+    for prefix in ("np.random.", "numpy.random."):
+        if name.startswith(prefix):
+            return name[len(prefix):]
+    return ""
+
+
+@register
+class WallClockRule(Rule):
+    """DET101: wall-clock reads make simulated measurements unreplayable."""
+
+    id = "DET101"
+    family = "DET"
+    severity = Severity.ERROR
+    summary = "wall-clock read (time.time, datetime.now, ...) in simulation code"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if not name:
+                continue
+            if name in _WALL_CLOCK or name.endswith(_NOW_SUFFIXES):
+                yield self.finding(
+                    ctx, node,
+                    f"call to {name}() reads the host wall clock; simulation "
+                    f"code must use the engine's simulated clock (engine.now) "
+                    f"so every run is replayable")
+
+
+@register
+class GlobalRandomRule(Rule):
+    """DET102: draws from module-level RNG state are order-dependent."""
+
+    id = "DET102"
+    family = "DET"
+    severity = Severity.ERROR
+    summary = "draw from global RNG state (random.*, np.random.* legacy API)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if not name:
+                continue
+            if name.startswith("random.") and name.count(".") == 1:
+                target = name.split(".", 1)[1]
+                if target == "Random":
+                    continue  # seedable instance construction is fine
+                yield self.finding(
+                    ctx, node,
+                    f"call to {name}() uses the interpreter-global RNG; "
+                    f"construct a seeded np.random.default_rng(seed) or "
+                    f"random.Random(seed) instead")
+                continue
+            np_target = _np_random_target(name)
+            if np_target and np_target not in _NP_RANDOM_OK:
+                yield self.finding(
+                    ctx, node,
+                    f"call to {name}() draws from numpy's hidden global "
+                    f"RandomState; use a seeded np.random.default_rng(seed) "
+                    f"generator instead")
+
+
+@register
+class UnseededGeneratorRule(Rule):
+    """DET103: ``default_rng()`` with no seed pulls OS entropy."""
+
+    id = "DET103"
+    family = "DET"
+    severity = Severity.ERROR
+    summary = "np.random.default_rng() constructed without a seed"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if not (name == "default_rng" or name.endswith(".default_rng")):
+                continue
+            unseeded = not node.args and not node.keywords
+            if node.args and isinstance(node.args[0], ast.Constant) \
+                    and node.args[0].value is None:
+                unseeded = True
+            if unseeded:
+                yield self.finding(
+                    ctx, node,
+                    "default_rng() without a seed draws OS entropy; pass an "
+                    "explicit seed so the noise stream is reproducible")
+
+
+@register
+class SaltedHashRule(Rule):
+    """DET104: ``hash()`` of a str/bytes-bearing value differs per process.
+
+    Since PEP 456, string hashing is salted with a per-process random key
+    (``PYTHONHASHSEED``); feeding ``hash()`` into a seed or a scheduling
+    decision silently breaks cross-process reproducibility.  Implementing
+    ``__hash__`` by delegating to ``hash()`` is the one legitimate use and
+    is exempted.
+    """
+
+    id = "DET104"
+    family = "DET"
+    severity = Severity.ERROR
+    summary = "builtin hash() outside __hash__ (per-process salted since PEP 456)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (isinstance(node.func, ast.Name) and node.func.id == "hash"):
+                continue
+            if any(isinstance(parent, ast.FunctionDef) and parent.name == "__hash__"
+                   for parent in ancestors(node)):
+                continue
+            yield self.finding(
+                ctx, node,
+                "builtin hash() is salted per process (PYTHONHASHSEED); use a "
+                "stable digest such as zlib.crc32(repr(value).encode()) when "
+                "deriving seeds or keys")

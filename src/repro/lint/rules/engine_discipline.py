@@ -1,0 +1,137 @@
+"""ENG rules — misuse patterns of the discrete-event kernel.
+
+The kernel in :mod:`repro.events` has three usage contracts that only show
+up as runtime failures (or worse, as silently wrong timings) when broken:
+process generators yield :class:`~repro.events.engine.Event` objects and
+nothing else; nothing ever blocks the real thread inside simulated time;
+and the event loop is never re-entered from code that is already running
+inside it (``Engine.run`` raises ``SimulationError`` at runtime — these
+rules catch it before the simulation even starts).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.astutil import dotted_name, enclosing_function, walk_functions
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: Engine methods whose results are what processes legitimately yield.
+_EVENT_FACTORIES = {"timeout", "spawn", "process", "event", "any_of", "all_of",
+                    "request", "acquire", "get", "put"}
+
+#: Receiver spellings we treat as "the engine" for re-entrancy checks.
+_ENGINE_NAMES = {"engine", "env", "eng", "self.engine", "self.env", "self.eng",
+                 "self._engine", "self._env"}
+
+#: Engine methods that drive the event loop.
+_LOOP_DRIVERS = {"run", "run_until_complete", "step"}
+
+
+def _is_event_factory_call(node: ast.AST) -> bool:
+    """True for ``env.timeout(...)``-shaped calls (any receiver depth)."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _EVENT_FACTORIES)
+
+
+def _is_process_generator(func: ast.FunctionDef) -> bool:
+    """Heuristic: a generator that yields at least one event-factory call.
+
+    Ordinary generators (table renderers, iterators) never yield
+    ``env.timeout(...)``, so this keeps the ENG rules away from them.
+    """
+    for node in ast.walk(func):
+        if isinstance(node, ast.Yield) and enclosing_function(node) is func \
+                and node.value is not None and _is_event_factory_call(node.value):
+            return True
+    return False
+
+
+def _yield_violation(value: Optional[ast.AST]) -> str:
+    """Why this yielded value can never be an Event, or ``""`` if it could."""
+    if value is None:
+        return "a bare `yield` resumes with None, which is not an Event"
+    if isinstance(value, ast.Constant):
+        return f"yields the constant {value.value!r}, which is not an Event"
+    if isinstance(value, (ast.List, ast.Tuple, ast.Set, ast.Dict)):
+        return ("yields a literal collection; wrap multiple events in "
+                "engine.all_of(...) / engine.any_of(...) instead")
+    if isinstance(value, ast.JoinedStr):
+        return "yields an f-string, which is not an Event"
+    return ""
+
+
+@register
+class YieldNonEventRule(Rule):
+    """ENG201: a process generator yielded something that cannot be an Event."""
+
+    id = "ENG201"
+    family = "ENG"
+    severity = Severity.ERROR
+    summary = "simulation process yields a value that is statically not an Event"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in walk_functions(ctx.tree):
+            if not _is_process_generator(func):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Yield) or enclosing_function(node) is not func:
+                    continue
+                reason = _yield_violation(node.value)
+                if reason:
+                    yield self.finding(
+                        ctx, node,
+                        f"process {func.name!r} {reason}; the kernel fails such "
+                        f"processes at runtime (see repro.events.process)")
+
+
+@register
+class ReentrantRunRule(Rule):
+    """ENG202: driving the event loop from inside a running process."""
+
+    id = "ENG202"
+    family = "ENG"
+    severity = Severity.ERROR
+    summary = "engine.run()/step() called from inside a process generator"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in walk_functions(ctx.tree):
+            if not _is_process_generator(func):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not isinstance(node.func, ast.Attribute) \
+                        or node.func.attr not in _LOOP_DRIVERS:
+                    continue
+                receiver = dotted_name(node.func.value)
+                if receiver in _ENGINE_NAMES:
+                    yield self.finding(
+                        ctx, node,
+                        f"{receiver}.{node.func.attr}() re-enters the event "
+                        f"loop from inside process {func.name!r}; Engine.run "
+                        f"raises SimulationError when nested — yield events "
+                        f"and let the outer run() drive them")
+
+
+@register
+class RealSleepRule(Rule):
+    """ENG203: ``time.sleep`` blocks the host thread, not simulated time."""
+
+    id = "ENG203"
+    family = "ENG"
+    severity = Severity.ERROR
+    summary = "time.sleep() in simulation code (use engine.timeout)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) == "time.sleep":
+                yield self.finding(
+                    ctx, node,
+                    "time.sleep() blocks the host thread and advances no "
+                    "simulated time; yield engine.timeout(delay) instead")

@@ -1,0 +1,132 @@
+"""UNIT rules — unit-suffixed names must not mix units of one dimension.
+
+The codebase encodes units in name suffixes throughout (``power_mw``,
+``duration_s``, ``size_bytes``); the power models even mix milliwatt and
+watt quantities in neighbouring lines by design (Table VI is in mW, trace
+plots in W).  Adding or comparing two names whose suffixes disagree within
+one dimension — ``budget_w + leak_mw`` — is therefore almost always a
+missing ``/ 1e3``, and it is exactly the class of bug a calibrated
+reproduction can least afford: the numbers stay plausible, just wrong.
+
+Multiplication and division are deliberately not checked (they are how
+conversions and rate×time products are written), and names containing
+``_per_`` (bandwidths, rates) are skipped entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: dimension → unit suffixes (matched longest-first across all dimensions).
+UNIT_DIMENSIONS = {
+    "power": ("_mw", "_w", "_kw"),
+    "time": ("_ns", "_us", "_ms", "_s"),
+    "data": ("_bytes", "_kib", "_mib", "_gib", "_kb", "_mb", "_gb"),
+    "frequency": ("_hz", "_khz", "_mhz", "_ghz"),
+    "energy": ("_mj", "_j", "_kj"),
+}
+
+#: (suffix, dimension), longest suffixes first so ``_mw`` wins over ``_w``.
+_SUFFIXES: Tuple[Tuple[str, str], ...] = tuple(sorted(
+    ((suffix, dimension)
+     for dimension, suffixes in UNIT_DIMENSIONS.items()
+     for suffix in suffixes),
+    key=lambda pair: len(pair[0]), reverse=True))
+
+
+def unit_of(name: str) -> Optional[Tuple[str, str]]:
+    """``(dimension, suffix)`` for a suffixed name, else ``None``."""
+    if "_per_" in name:
+        return None  # rates (bytes_per_s, ...) are their own dimension
+    for suffix, dimension in _SUFFIXES:
+        if name.endswith(suffix):
+            return dimension, suffix
+    return None
+
+
+def _named_unit(node: ast.AST) -> Optional[Tuple[str, str, str]]:
+    """``(name, dimension, suffix)`` when ``node`` is a unit-suffixed name."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    unit = unit_of(name)
+    if unit is None:
+        return None
+    return (name,) + unit
+
+
+def _mismatch(left: ast.AST, right: ast.AST) -> Optional[Tuple[str, str]]:
+    """The two clashing names when both sides carry different units."""
+    left_unit = _named_unit(left)
+    right_unit = _named_unit(right)
+    if left_unit is None or right_unit is None:
+        return None
+    if left_unit[1] == right_unit[1] and left_unit[2] != right_unit[2]:
+        return left_unit[0], right_unit[0]
+    return None
+
+
+@register
+class MixedUnitArithmeticRule(Rule):
+    """UNIT401: adding/comparing names with clashing unit suffixes."""
+
+    id = "UNIT401"
+    family = "UNIT"
+    severity = Severity.WARNING
+    summary = "add/subtract/compare mixes unit suffixes of one dimension"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            pairs = []
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                pairs.append((node.left, node.right))
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                pairs.extend(zip(operands, operands[1:]))
+            for left, right in pairs:
+                clash = _mismatch(left, right)
+                if clash:
+                    yield self.finding(
+                        ctx, node,
+                        f"{clash[0]!r} and {clash[1]!r} carry different units "
+                        f"of the same dimension; convert one side explicitly "
+                        f"before combining them")
+
+
+@register
+class MixedUnitAssignmentRule(Rule):
+    """UNIT402: binding a value straight across a unit boundary."""
+
+    id = "UNIT402"
+    family = "UNIT"
+    severity = Severity.WARNING
+    summary = "assignment or keyword argument crosses a unit suffix boundary"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            bindings = []
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                bindings.append((node.targets[0], node.value, node))
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                bindings.append((node.target, node.value, node))
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg is None:
+                        continue
+                    target = ast.Name(id=keyword.arg)
+                    bindings.append((target, keyword.value, keyword.value))
+            for target, value, anchor in bindings:
+                clash = _mismatch(target, value)
+                if clash:
+                    yield self.finding(
+                        ctx, anchor,
+                        f"{clash[1]!r} is bound to {clash[0]!r} without a "
+                        f"conversion; the suffixes disagree, so insert the "
+                        f"explicit factor (or fix the name)")

@@ -1,0 +1,126 @@
+"""File discovery, rule execution, and suppression filtering.
+
+The runner is the only layer that touches the filesystem; rules see a
+:class:`~repro.lint.registry.ModuleContext` and nothing else, which keeps
+them unit-testable from inline source snippets (see ``lint_source``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import ModuleContext, Rule, all_rules
+from repro.lint.suppress import parse_suppressions
+
+__all__ = ["LintResult", "iter_python_files", "lint_source", "lint_paths", "PARSE_RULE_ID"]
+
+#: Pseudo rule id for files the linter could not parse at all.
+PARSE_RULE_ID = "PARSE001"
+
+#: Directory names never descended into.
+_SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".pytest_cache",
+              ".ruff_cache", "build", "dist", ".eggs"}
+
+
+@dataclass
+class LintResult:
+    """All findings from one run, suppressed ones included."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that count toward the exit code."""
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        """Findings silenced by ``# simlint: disable`` directives."""
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing unsuppressed was found."""
+        return not self.active
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def sort(self) -> None:
+        self.findings.sort()
+
+
+def iter_python_files(paths: Sequence[os.PathLike | str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: set[Path] = set()
+    result: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(p.relative_to(path).parts))
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                result.append(candidate)
+    return result
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one module given as a string; the core of every rule test.
+
+    Returns *all* findings, with ``suppressed`` flags already applied.
+    A syntax error produces a single ``PARSE001`` finding instead of
+    raising, mirroring how the CLI treats broken files.
+    """
+    active_rules = list(rules) if rules is not None else all_rules()
+    try:
+        ctx = ModuleContext.from_source(source, path=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1,
+                        col=(exc.offset or 0) or 1, rule_id=PARSE_RULE_ID,
+                        severity=Severity.ERROR,
+                        message=f"could not parse file: {exc.msg}")]
+    suppressions = parse_suppressions(source)
+    findings: List[Finding] = []
+    for rule in active_rules:
+        for finding in rule.check(ctx):
+            finding.suppressed = suppressions.is_suppressed(
+                finding.rule_id, rule.family, finding.line)
+            findings.append(finding)
+    findings.sort()
+    return findings
+
+
+def lint_paths(paths: Sequence[os.PathLike | str],
+               rules: Optional[Sequence[Rule]] = None) -> LintResult:
+    """Lint every ``.py`` file reachable from ``paths``."""
+    active_rules = list(rules) if rules is not None else all_rules()
+    result = LintResult()
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.extend([Finding(path=str(path), line=1, col=1,
+                                   rule_id=PARSE_RULE_ID,
+                                   severity=Severity.ERROR,
+                                   message=f"could not read file: {exc}")])
+            result.files_checked += 1
+            continue
+        result.extend(lint_source(source, path=str(path), rules=active_rules))
+        result.files_checked += 1
+    result.sort()
+    return result

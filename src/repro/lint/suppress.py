@@ -1,0 +1,72 @@
+"""Inline suppression comments: ``# simlint: disable=RULE``.
+
+Grammar (the comment may carry trailing free text as a justification, which
+is strongly encouraged — a suppression without a *why* is a review smell):
+
+* ``# simlint: disable=DET104`` — suppress DET104 on this physical line.
+* ``# simlint: disable=DET104,CAL301`` — several rules at once.
+* ``# simlint: disable=all`` — every rule on this line.
+* ``# simlint: disable-file=CAL301`` — suppress CAL301 for the whole file;
+  conventionally placed near the top, but honoured anywhere.
+
+Families are accepted wherever ids are: ``disable=CAL`` suppresses every
+CAL rule.  Comments are found with :mod:`tokenize`, so a ``# simlint:``
+inside a string literal is never treated as a directive.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*simlint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Which rules are disabled where, for one file."""
+
+    #: rule ids / families / "all" disabled for the entire file.
+    file_level: Set[str] = field(default_factory=set)
+    #: line number → set of rule ids / families / "all" disabled on it.
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule_id: str, family: str, line: int) -> bool:
+        """True when a directive covers ``rule_id`` at ``line``."""
+        selectors = self.file_level | self.by_line.get(line, set())
+        return bool(selectors & {"ALL", rule_id.upper(), family.upper()})
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every ``# simlint:`` directive from ``source``.
+
+    Tokenisation errors (the runner reports those separately as parse
+    findings) simply yield an empty suppression set.
+    """
+    suppressions = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE_RE.search(token.string)
+        if match is None:
+            continue
+        selectors = {part.strip().upper()
+                     for part in match.group("rules").split(",") if part.strip()}
+        if match.group("kind") == "disable-file":
+            suppressions.file_level |= selectors
+        else:
+            line = token.start[0]
+            suppressions.by_line.setdefault(line, set()).update(selectors)
+    return suppressions

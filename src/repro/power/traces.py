@@ -12,6 +12,7 @@ figure's series byte-for-byte across runs.
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence
 
@@ -167,7 +168,11 @@ class TraceSynthesizer:
         delta = sum(active_mw[r] - idle_mw[r] for r in rails)
 
         modulation = _MODULATIONS[workload](times)
-        rng = np.random.default_rng(self.seed + hash((workload, group)) % 65536)
+        # Decorrelate the noise of each workload×group panel with a digest
+        # that is stable across processes — builtin hash() is salted per
+        # interpreter (PYTHONHASHSEED), which made reruns non-reproducible.
+        stream = zlib.crc32(f"{workload}/{group}".encode("ascii"))
+        rng = np.random.default_rng(self.seed + stream % 65536)
         noise = rng.normal(0.0, self.NOISE_RMS * max(base + delta, 1.0),
                            size=times.shape)
         power_mw = base + delta * modulation + noise

@@ -1,0 +1,30 @@
+"""A compliant sibling of ``violating.py`` — the CLI must exit 0 on it."""
+
+import zlib
+
+import numpy as np
+
+from repro.hardware.specs import DDR_SPEC, U740_SPEC
+
+DDR_PEAK_BYTES_PER_S = DDR_SPEC.peak_bandwidth_bytes_per_s
+CLOCK_HZ = U740_SPEC.clock_hz
+
+
+def noise_seed(workload, group):
+    return zlib.crc32(f"{workload}/{group}".encode()) % 65536
+
+
+def sample(engine, seed=2022):
+    rng = np.random.default_rng(seed)
+    return rng.normal() * engine.now
+
+
+def busy_process(env):
+    result = yield env.timeout(1.0)
+    yield env.all_of([env.timeout(0.5), env.timeout(0.25)])
+    return result
+
+
+def report(power_mw):
+    power_w = power_mw / 1e3
+    return power_w

@@ -1,0 +1,31 @@
+"""A deliberately rule-breaking module used by the simlint CLI tests.
+
+Never imported: it exists so tests can assert ``python -m repro.lint``
+exits non-zero on a file violating every rule family (DET, ENG, CAL, UNIT).
+"""
+
+import random
+import time
+
+DDR_PEAK_BYTES_PER_S = 7760e6      # CAL301: duplicates hardware/specs.py
+CLOCK_HZ = 1.2e9                   # CAL301: duplicates hardware/specs.py
+
+
+def noise_seed(workload, group):
+    return hash((workload, group)) % 65536  # DET104: salted hash
+
+
+def sample():
+    return random.random() * time.time()  # DET102 + DET101
+
+
+def busy_process(env):
+    yield env.timeout(1.0)
+    yield 42                # ENG201: not an Event
+    time.sleep(0.5)         # ENG203: blocks the host thread
+    env.run()               # ENG202: re-entrant event loop
+
+
+def report(power_mw):
+    power_w = power_mw      # UNIT402: no conversion factor
+    return power_w + power_mw  # UNIT401: mixed power units

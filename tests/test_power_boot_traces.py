@@ -129,3 +129,61 @@ class TestActivityModulation:
         values = [activity_modulation("hpl", t / 10) for t in range(60)]
         assert min(values) < 0.85
         assert max(values) > 0.95
+
+
+class TestTraceDeterminism:
+    """Regression for the salted-hash seed bug (simlint rule DET104).
+
+    ``benchmark_trace`` used to mix ``hash((workload, group))`` into the
+    noise seed; Python salts string hashing per process (PYTHONHASHSEED),
+    so the "deterministic" traces differed between interpreter runs.  The
+    fix derives the per-panel stream from ``zlib.crc32`` instead.
+    """
+
+    def test_two_fresh_synthesizers_agree_exactly(self):
+        a = TraceSynthesizer(seed=2022)
+        b = TraceSynthesizer(seed=2022)
+        for workload in ("hpl", "stream_l2", "stream_ddr", "qe", "idle"):
+            for group in RAIL_GROUPS:
+                ta = a.benchmark_trace(workload, group, duration_s=0.5)
+                tb = b.benchmark_trace(workload, group, duration_s=0.5)
+                np.testing.assert_array_equal(ta.power_w, tb.power_w)
+
+    def test_seed_still_matters(self):
+        ta = TraceSynthesizer(seed=1).benchmark_trace("hpl", duration_s=0.5)
+        tb = TraceSynthesizer(seed=2).benchmark_trace("hpl", duration_s=0.5)
+        assert not np.array_equal(ta.power_w, tb.power_w)
+
+    def test_panels_are_decorrelated(self):
+        synth = TraceSynthesizer(seed=2022)
+        core = synth.benchmark_trace("hpl", "core", duration_s=0.5)
+        ddr = synth.benchmark_trace("hpl", "ddr", duration_s=0.5)
+        centred_core = core.power_w - np.mean(core.power_w)
+        centred_ddr = ddr.power_w - np.mean(ddr.power_w)
+        assert not np.array_equal(centred_core, centred_ddr)
+
+    def test_traces_identical_across_interpreter_processes(self):
+        # The actual bug: hash() salt varies per process, so equality must
+        # hold between *fresh interpreters*, not merely within one.
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        snippet = (
+            "import zlib\n"
+            "from repro.power.traces import TraceSynthesizer\n"
+            "t = TraceSynthesizer(seed=2022).benchmark_trace('hpl', 'ddr', duration_s=0.5)\n"
+            "print(zlib.crc32(t.power_w.tobytes()))\n"
+        )
+        src = str(Path(__file__).parent.parent / "src")
+        digests = set()
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ,
+                       PYTHONPATH=src, PYTHONHASHSEED=hash_seed)
+            proc = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True, text=True, timeout=120, env=env)
+            assert proc.returncode == 0, proc.stderr
+            digests.add(proc.stdout.strip())
+        assert len(digests) == 1, f"trace noise differs across processes: {digests}"
