@@ -126,8 +126,32 @@ class MonteCimoneCluster:
                                       node.cpu_temperature_c())
 
     def _trip_node(self, hostname: str) -> None:
-        node = self.nodes[hostname]
-        node.emergency_shutdown(self.engine.now)
+        self.inject_node_failure(hostname, reason="thermal trip")
+
+    def inject_node_failure(self, hostname: str,
+                            reason: str = "injected fault") -> None:
+        """Fault injection entry point: trip a node and tell the scheduler.
+
+        Unlike calling ``emergency_shutdown`` on the node directly, this
+        also reports the failure to the SLURM controller, so a node tripped
+        while idle (or mid-boot) is marked DOWN instead of silently staying
+        in the schedulable pool — and, when auto-recovery is enabled, its
+        drain→resume lifecycle starts.  The thermal watchdog trips through
+        this same path.
+        """
+        self.nodes[hostname].emergency_shutdown(self.engine.now)
+        self.slurm.node_failed(hostname, reason)
+
+    def enable_auto_recovery(self, delay_s: float = 60.0) -> None:
+        """Have failed nodes serviced and returned to the pool automatically.
+
+        Wires the controller's drain→resume lifecycle to the cluster's
+        cooperative hardware service: after ``delay_s`` of simulated
+        operator-response time the node is drained, cooled, rebooted and
+        resumed — the recovery half of the Fig. 6 incident response.
+        """
+        self.slurm.enable_node_recovery(delay_s=delay_s,
+                                        service=self.service_node_process)
 
     def apply_thermal_mitigation(self) -> None:
         """The §V-C fix: remove the lids, add vertical spacing."""
@@ -159,6 +183,32 @@ class MonteCimoneCluster:
         for partition in self.slurm.partitions.values():
             if hostname in partition.nodes:
                 partition.nodes[hostname].resume()
+
+    def service_node_process(self, hostname: str, cool_below_c: float = 32.0,
+                             cooldown_guard_s: float = 3600.0
+                             ) -> Generator[Event, None, None]:
+        """Cooperative (in-simulation) version of :meth:`service_node`.
+
+        Waits for the tripped board to cool, then reboots it — all by
+        yielding events, so it can run *inside* the simulation (the
+        controller's automatic node-recovery lifecycle drives it while the
+        rest of the cluster keeps running).  Scheduler-side state is the
+        caller's responsibility, matching ``enable_node_recovery``'s
+        contract (the controller resumes the node itself).
+        """
+        node = self.nodes[hostname]
+        if node.state is not NodeState.TRIPPED:
+            raise RuntimeError(f"{hostname} is {node.state}, not tripped")
+        guard = self.engine.now + cooldown_guard_s
+        while node.cpu_temperature_c() > cool_below_c:
+            if self.engine.now > guard:
+                raise RuntimeError(f"{hostname} failed to cool below "
+                                   f"{cool_below_c} °C within the guard time")
+            yield self.engine.timeout(10.0)
+            node.sync_to(self.engine.now)
+        node.state = NodeState.OFF
+        self.watchdog.reset(hostname)
+        yield from node.boot_process(self.engine)
 
     # -- convenience views -----------------------------------------------------
     def total_power_w(self) -> float:

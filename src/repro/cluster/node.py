@@ -230,11 +230,22 @@ class ComputeNode:
 
     # -- simulation processes -------------------------------------------------------
     def boot_process(self, engine: Engine) -> Generator[Event, None, None]:
-        """Boot the node on the simulation engine (Fig. 4 timings)."""
+        """Boot the node on the simulation engine (Fig. 4 timings).
+
+        A fault injected mid-boot (emergency shutdown during R1/R2) aborts
+        the sequence cleanly: the process returns with the node TRIPPED
+        instead of raising out of a phase transition — the same "stopped
+        executing" outcome a real board shows when it browns out while
+        booting.
+        """
         self.power_on(engine.now)
         yield engine.timeout(self.R1_DURATION_S)
+        if self.state is NodeState.TRIPPED:
+            return
         self.start_bootloader(engine.now)
         yield engine.timeout(self.R2_DURATION_S)
+        if self.state is NodeState.TRIPPED:
+            return
         self.finish_boot(engine.now)
 
     def workload_process(self, engine: Engine, profile: WorkloadProfile,

@@ -25,18 +25,24 @@ Process(...)
 [1.5]
 """
 
-from repro.events.engine import Engine, Event, SimulationError, Timeout
+from repro.events.engine import (AllOf, AnyOf, Engine, Event, FailureRecord,
+                                 SimulationError, Timeout,
+                                 UnconsumedFailureError)
 from repro.events.process import Interrupt, Process
 from repro.events.resources import Container, Resource, Store
 
 __all__ = [
+    "AllOf",
+    "AnyOf",
     "Container",
     "Engine",
     "Event",
+    "FailureRecord",
     "Interrupt",
     "Process",
     "Resource",
     "SimulationError",
     "Store",
     "Timeout",
+    "UnconsumedFailureError",
 ]

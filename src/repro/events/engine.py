@@ -17,13 +17,89 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, Optional
+import traceback as _traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable, List, Optional
 
-__all__ = ["Engine", "Event", "SimulationError", "Timeout", "AnyOf", "AllOf"]
+__all__ = ["Engine", "Event", "SimulationError", "UnconsumedFailureError",
+           "FailureRecord", "Timeout", "AnyOf", "AllOf"]
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (double trigger, running twice, ...)."""
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One failed event whose exception nobody consumed or defused.
+
+    ``process_name`` is filled in when the failed event is a
+    :class:`~repro.events.process.Process` (the common case: a crashed or
+    force-killed simulation actor); for plain events it is ``None`` and
+    ``event_repr`` identifies the source.
+    """
+
+    event_repr: str
+    process_name: Optional[str]
+    time_s: float
+    exception: BaseException
+    traceback_text: str
+
+    def describe(self) -> str:
+        """Multi-line human-readable account of the lost failure."""
+        origin = (f"process {self.process_name!r}" if self.process_name
+                  else self.event_repr)
+        lines = [f"{self.exception!r} from {origin} at t={self.time_s:.6f}"]
+        if self.traceback_text:
+            lines.extend("    " + line
+                         for line in self.traceback_text.rstrip().splitlines())
+        return "\n".join(lines)
+
+
+class UnconsumedFailureError(SimulationError):
+    """The simulation drained while failed events were still unconsumed.
+
+    Every failed :class:`Event` must either be *consumed* (its exception
+    delivered to at least one waiter — a process that yielded it, a
+    condition that absorbed it, or a caller reading ``event.value``) or
+    explicitly *defused* via :meth:`Event.defuse`.  Anything else is a
+    fault the simulation silently lost, which would make fault-injection
+    tests pass vacuously — so :meth:`Engine.run` raises this diagnostic
+    when the queue drains with live failures in the ledger.
+    """
+
+    def __init__(self, records: List[FailureRecord]) -> None:
+        self.records = list(records)
+        details = "\n".join("  - " + record.describe().replace("\n", "\n  ")
+                            for record in self.records)
+        super().__init__(
+            f"{len(self.records)} unconsumed failure(s) when the simulation "
+            f"drained — every failed event must be waited on or explicitly "
+            f"defused (Event.defuse()):\n{details}")
+
+
+class _ProcessedCallbacks(list):
+    """Sentinel callback list installed once an event has been processed.
+
+    Appending a callback to an already-processed event is a silent no-op in
+    a naive kernel (the callback never runs); here it raises immediately so
+    the bug surfaces at the call site.  Waiting on a processed event is
+    still supported through the kernel APIs: ``yield event`` inside a
+    process resumes immediately, and conditions absorb processed children.
+    """
+
+    def _reject(self, *_args: Any) -> None:
+        raise SimulationError(
+            f"cannot add a callback to the already-processed {self.event!r}; "
+            f"it would never run. Wait on events via yield/spawn/any_of/"
+            f"all_of (which handle processed events), or engine.call_at for "
+            f"plain scheduling")
+
+    def __init__(self, event: "Event") -> None:
+        super().__init__()
+        self.event = event
+
+    append = extend = insert = _reject
 
 
 class Event:
@@ -32,9 +108,15 @@ class Event:
     An event starts *pending*, becomes *triggered* once given a value (or an
     exception) and a fire time, and is *processed* after all callbacks ran.
     Processes waiting on the event are resumed through its callback list.
+
+    Failure accounting: a *failed* event (one triggered via :meth:`fail`)
+    must have its exception consumed by a waiter or be explicitly
+    :meth:`defuse`\\ d; otherwise the engine's unconsumed-failure ledger
+    reports it when the simulation drains (:class:`UnconsumedFailureError`).
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_exception", "_triggered", "_processed")
+    __slots__ = ("engine", "callbacks", "_value", "_exception", "_triggered",
+                 "_processed", "_defused")
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
@@ -43,6 +125,7 @@ class Event:
         self._exception: Optional[BaseException] = None
         self._triggered = False
         self._processed = False
+        self._defused = False
 
     # -- state ------------------------------------------------------------
     @property
@@ -61,11 +144,33 @@ class Event:
         return self._triggered and self._exception is None
 
     @property
+    def defused(self) -> bool:
+        """True once the event's failure has been consumed or defused."""
+        return self._defused
+
+    @property
     def value(self) -> Any:
-        """The event payload; raises if the event failed."""
+        """The event payload; raises if the event failed.
+
+        Reading the value of a failed event delivers the exception to the
+        caller, which counts as consuming the failure.
+        """
         if self._exception is not None:
+            self.defuse()
             raise self._exception
         return self._value
+
+    def defuse(self) -> None:
+        """Mark this event's failure as intentionally handled.
+
+        Consumption points inside the kernel (a process resuming with the
+        exception, a condition absorbing a child failure, ``value`` raising
+        to a caller) call this automatically; user code calls it for
+        fire-and-forget failures that are genuinely expected to go
+        unobserved.  Defusing a successful event is a harmless no-op.
+        """
+        self._defused = True
+        self.engine._discard_failure(self)
 
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
@@ -90,7 +195,7 @@ class Event:
 
     def _run_callbacks(self) -> None:
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
+        callbacks, self.callbacks = self.callbacks, _ProcessedCallbacks(self)
         for callback in callbacks:
             callback(self)
 
@@ -140,21 +245,36 @@ class _Condition(Event):
 
 
 class AnyOf(_Condition):
-    """Fires when the first of its child events fires."""
+    """Fires when the first of its child events fires.
+
+    A child that fails *after* the condition already resolved is not
+    silently swallowed: its exception stays unconsumed and surfaces through
+    the engine's failure ledger unless some other waiter (or an explicit
+    ``defuse()``) handles it.
+    """
 
     __slots__ = ()
 
     def _on_fire(self, event: Event) -> None:
         if self._triggered:
+            # Late child outcome.  A late success is simply ignored; a late
+            # failure must not vanish — leave it to the unconsumed-failure
+            # ledger rather than defusing it here.
             return
         if event._exception is not None:
+            event.defuse()  # absorbed: the condition now carries the failure
             self.fail(event._exception)
         else:
             self.succeed(self._collect())
 
 
 class AllOf(_Condition):
-    """Fires when every child event has fired."""
+    """Fires when every child event has fired.
+
+    Like :class:`AnyOf`, a child failing after the condition has already
+    resolved (e.g. a second failure once the first aborted the condition)
+    flows into the unconsumed-failure ledger instead of vanishing.
+    """
 
     __slots__ = ()
 
@@ -162,6 +282,7 @@ class AllOf(_Condition):
         if self._triggered:
             return
         if event._exception is not None:
+            event.defuse()  # absorbed: the condition now carries the failure
             self.fail(event._exception)
             return
         self._n_fired += 1
@@ -183,12 +304,49 @@ class Engine:
         self._queue: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._running = False
+        #: Failed, processed events whose exception nobody consumed yet.
+        #: Insertion-ordered (dict) so diagnostics are deterministic.
+        self._failures: dict[Event, FailureRecord] = {}
 
     # -- clock ------------------------------------------------------------
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    # -- failure ledger -----------------------------------------------------
+    @property
+    def unconsumed_failures(self) -> List[FailureRecord]:
+        """Records of failed events nobody has consumed or defused (a copy)."""
+        return list(self._failures.values())
+
+    def _record_failure(self, event: Event) -> None:
+        exc = event._exception
+        assert exc is not None
+        tb_text = "".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ) if exc.__traceback__ is not None else ""
+        self._failures[event] = FailureRecord(
+            event_repr=repr(event),
+            process_name=getattr(event, "name", None),
+            time_s=self._now,
+            exception=exc,
+            traceback_text=tb_text,
+        )
+
+    def _discard_failure(self, event: Event) -> None:
+        self._failures.pop(event, None)
+
+    def check_failures(self) -> None:
+        """Raise :class:`UnconsumedFailureError` if the ledger is non-empty.
+
+        The raised records are removed from the ledger (they have been
+        reported); callers that catch the diagnostic can keep running.
+        """
+        if self._failures:
+            records = list(self._failures.values())
+            self._failures.clear()
+            raise UnconsumedFailureError(records)
 
     # -- event construction -------------------------------------------------
     def event(self) -> Event:
@@ -234,10 +392,18 @@ class Engine:
 
     # -- execution ----------------------------------------------------------
     def step(self) -> None:
-        """Process the single next event; raises IndexError when queue empty."""
+        """Process the single next event; raises IndexError when queue empty.
+
+        A failed event that leaves processing with nobody having consumed
+        its exception (and without being defused) enters the
+        unconsumed-failure ledger; :meth:`run` raises a diagnostic if the
+        simulation drains while the ledger is non-empty.
+        """
         when, _seq, event = heapq.heappop(self._queue)
         self._now = when
         event._run_callbacks()
+        if event._exception is not None and not event._defused:
+            self._record_failure(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')`` if none."""
@@ -252,6 +418,14 @@ class Engine:
             Absolute simulated time at which to stop.  ``None`` runs until
             the event queue drains.  When stopping on ``until`` the clock is
             advanced exactly to ``until`` even if no event fires there.
+
+        Raises
+        ------
+        UnconsumedFailureError
+            When the event queue fully drains while failed events remain
+            unconsumed (see the class docstring).  A run cut short by
+            ``until`` with events still queued does not raise — a later
+            waiter may still legitimately consume the failure.
         """
         if self._running:
             raise SimulationError("engine is already running")
@@ -264,6 +438,8 @@ class Engine:
                 self.step()
             if until is not None and self._now < until:
                 self._now = until
+            if not self._queue:
+                self.check_failures()
         finally:
             self._running = False
 
@@ -282,7 +458,7 @@ class Engine:
         # drain the zero-delay callbacks so the process is fully processed
         while not process.processed and self._queue and self.peek() <= self._now:
             self.step()
-        return process.value
+        return process.value  # a failed process raises here (and is defused)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Engine t={self._now:.6f} queued={len(self._queue)}>"

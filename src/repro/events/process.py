@@ -48,13 +48,14 @@ class Process(Event):
     respect to other events scheduled in the same instant.
     """
 
-    __slots__ = ("generator", "name", "_target")
+    __slots__ = ("generator", "name", "_target", "_started")
 
     def __init__(self, engine: Engine, generator: Generator[Event, Any, Any], name: str = "") -> None:
         super().__init__(engine)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        self._started = False
         # Kick off the process via a zero-delay bootstrap event.
         bootstrap = Event(engine)
         bootstrap._triggered = True
@@ -72,26 +73,59 @@ class Process(Event):
 
         Interrupting a finished process is an error; interrupting a process
         twice before it handles the first interrupt is allowed and delivers
-        both, in order.
+        both, in order.  Interrupting a just-spawned process is deferred
+        until after its bootstrap resumption, so the process body gets to
+        run up to its first ``yield`` before the interrupt arrives (instead
+        of the interrupt being thrown into a never-started generator and
+        skipping the body entirely).  An interrupt whose target finishes in
+        the same simulated instant, before delivery, is dropped: there is
+        no frame left to deliver it to.
         """
         if self._triggered:
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
-        interrupt_event = Event(self.engine)
-        interrupt_event._triggered = True
-        interrupt_event._exception = Interrupt(cause)
-        # Detach from the event currently waited on so its later firing
-        # does not resume us a second time.
+        deliver = Event(self.engine)
+        deliver._triggered = True
+        deliver._exception = Interrupt(cause)
+        self.engine._schedule(deliver)
+        deliver.callbacks.append(self._deliver_interrupt)
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        """Late-bound interrupt delivery (runs when the delivery event fires).
+
+        Detaching from the currently-waited-on event happens here, at
+        delivery time, not when :meth:`interrupt` was called — that is what
+        makes double interrupts deliver both, in order, and keeps a pending
+        interrupt from cancelling the bootstrap resumption.
+        """
+        if self._triggered:
+            # The process finished in this same instant, before delivery;
+            # the interrupt is moot.  Consume it so the ledger stays clean.
+            event.defuse()
+            return
+        if not self._started:
+            # The generator has not been bootstrapped yet; re-queue the
+            # delivery so it lands after the bootstrap resumption.
+            event.defuse()
+            redelivery = Event(self.engine)
+            redelivery._triggered = True
+            redelivery._exception = event._exception
+            self.engine._schedule(redelivery)
+            redelivery.callbacks.append(self._deliver_interrupt)
+            return
         target = self._target
         if target is not None and self._resume in target.callbacks:
             target.callbacks.remove(self._resume)
-        self.engine._schedule(interrupt_event)
-        interrupt_event.callbacks.append(self._resume)
-        self._target = interrupt_event
+        self._target = None
+        self._resume(event)
 
     # -- internal ----------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        self._started = True
         try:
             if event._exception is not None:
+                # The exception is being delivered into this generator:
+                # that consumes the failure.
+                event.defuse()
                 target = self.generator.throw(event._exception)
             else:
                 target = self.generator.send(event._value)
@@ -100,18 +134,25 @@ class Process(Event):
             self.succeed(stop.value)
             return
         except Interrupt as interrupt:
-            # Unhandled interrupt terminates the process as failed.
+            # Unhandled interrupt terminates the process as failed; the
+            # failure ledger flags it unless a waiter (or defuse) consumes it.
             self._target = None
             self.fail(interrupt)
             return
-        except BaseException as exc:  # propagate real bugs
+        except Exception as exc:
+            # A crashed process becomes a failed event.  If somebody waits
+            # on it, the exception propagates to them; if nobody ever
+            # consumes it, Engine.run() raises an UnconsumedFailureError
+            # diagnostic when the simulation drains — replacing the old
+            # timing-dependent "crash only if no callbacks yet" heuristic.
             self._target = None
-            if not self.callbacks:
-                # Nobody is waiting on this process: a silent failure would
-                # hang the simulation, so crash loudly out of engine.step().
-                raise
             self.fail(exc)
             return
+        except BaseException:
+            # KeyboardInterrupt/SystemExit and friends are not simulation
+            # outcomes; propagate immediately out of engine.step().
+            self._target = None
+            raise
 
         if not isinstance(target, Event):
             self._target = None
@@ -120,6 +161,9 @@ class Process(Event):
         self._target = target
         if target.processed:
             # The event already fired; resume immediately (zero delay).
+            if target._exception is not None:
+                # Waiting on a processed failed event consumes its failure.
+                target.defuse()
             immediate = Event(self.engine)
             immediate._triggered = True
             immediate._value = target._value

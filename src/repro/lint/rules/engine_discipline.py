@@ -118,6 +118,48 @@ class ReentrantRunRule(Rule):
 
 
 @register
+class RawCallbackAppendRule(Rule):
+    """ENG204: raw ``event.callbacks.append(...)`` outside the kernel.
+
+    The failure-accounting contract lives in the kernel's own wiring:
+    processes and conditions register callbacks through code paths that
+    consume (or deliberately leave unconsumed) a failed event's exception,
+    and processed events reject new callbacks outright.  User code that
+    appends to ``callbacks`` directly bypasses all of that — its callback
+    silently never runs on an already-processed event, and a failure it
+    observes is invisible to the unconsumed-failure ledger.  Only modules
+    inside ``repro/events/`` may touch callback lists; everything else
+    must wait via ``yield``/``spawn``/``any_of``/``all_of`` or schedule
+    plain work with ``engine.call_at``.
+    """
+
+    id = "ENG204"
+    family = "ENG"
+    severity = Severity.ERROR
+    summary = "raw event.callbacks.append() outside repro/events (use yield/spawn/conditions)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if "repro/events/" in ctx.path.replace("\\", "/"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "append"):
+                continue
+            receiver = func.value
+            if isinstance(receiver, ast.Attribute) and receiver.attr == "callbacks":
+                yield self.finding(
+                    ctx, node,
+                    f"{dotted_name(receiver) or 'event.callbacks'}.append() "
+                    f"bypasses the kernel's failure-accounting contract "
+                    f"(callbacks on processed events never run; observed "
+                    f"failures are invisible to the unconsumed-failure "
+                    f"ledger); wait on the event via yield/spawn/"
+                    f"any_of/all_of, or use engine.call_at")
+
+
+@register
 class RealSleepRule(Rule):
     """ENG203: ``time.sleep`` blocks the host thread, not simulated time."""
 

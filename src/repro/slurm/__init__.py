@@ -14,12 +14,13 @@ paper's experiments ran under:
 """
 
 from repro.slurm.api import SlurmAPI
-from repro.slurm.job import Job, JobState
+from repro.slurm.job import Job, JobAttempt, JobState
 from repro.slurm.partition import NodeAllocState, Partition, SlurmNodeInfo
 from repro.slurm.scheduler import SlurmController
 
 __all__ = [
     "Job",
+    "JobAttempt",
     "JobState",
     "NodeAllocState",
     "Partition",

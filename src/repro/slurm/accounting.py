@@ -32,8 +32,13 @@ def render_sacct(controller: SlurmController,
                  user: Optional[str] = None) -> str:
     """Render terminal accounting rows for finished jobs.
 
-    Energy columns show ``--`` when no accounting ledger covers a job
-    (e.g. jobs on nodes the controller has no hardware binding for).
+    A job that was requeued after node failures gets one row per attempt
+    (``sacct --duplicates`` semantics: same JobID, each attempt's state and
+    elapsed time), so a NODE_FAIL followed by a successful retry shows both
+    the failed and the completed attempt.  Energy columns show ``--`` when
+    no accounting ledger covers a row (requeued attempts' energy is
+    attributed to the final attempt; jobs on nodes the controller has no
+    hardware binding for have none at all).
     """
     rows: List[str] = [_HEADER, "-" * len(_HEADER)]
     for job in controller.jobs.values():
@@ -45,11 +50,33 @@ def render_sacct(controller: SlurmController,
         energy_text = f"{record.energy_j / 1e3:10.2f}" if record else \
             f"{'--':>10}"
         watts_text = f"{record.mean_power_w:7.2f}" if record else f"{'--':>7}"
-        rows.append(
-            f"{job.job_id:>8} {job.name:>14.14} {job.user:>8} "
-            f"{len(job.allocated_nodes):>6} "
-            f"{_format_elapsed(job.elapsed_s):>9} "
-            f"{job.state.name:>10} {energy_text} {watts_text}")
+        no_energy = f"{'--':>10} {'--':>7}"
+        last = job.attempts[-1] if job.attempts else None
+        final_is_attempt = last is not None and last.state is job.state
+        history = job.attempts[:-1] if final_is_attempt else job.attempts
+        for attempt in history:
+            # Earlier attempts: shown like sacct --duplicates rows.
+            rows.append(
+                f"{job.job_id:>8} {job.name:>14.14} {job.user:>8} "
+                f"{len(attempt.nodes):>6} "
+                f"{_format_elapsed(attempt.elapsed_s):>9} "
+                f"{attempt.state.name:>10} {no_energy}")
+        if final_is_attempt:
+            # The final attempt is the job's terminal record.
+            rows.append(
+                f"{job.job_id:>8} {job.name:>14.14} {job.user:>8} "
+                f"{len(last.nodes):>6} "
+                f"{_format_elapsed(last.elapsed_s):>9} "
+                f"{job.state.name:>10} {energy_text} {watts_text}")
+        else:
+            # Terminal state not reached by an execution attempt (cancelled
+            # while pending or during a requeue backoff): summary row after
+            # any recorded attempts.
+            rows.append(
+                f"{job.job_id:>8} {job.name:>14.14} {job.user:>8} "
+                f"{len(job.allocated_nodes):>6} "
+                f"{_format_elapsed(job.elapsed_s):>9} "
+                f"{job.state.name:>10} {energy_text} {watts_text}")
     if len(rows) == 2:
         rows.append("(no finished jobs)")
     return "\n".join(rows)

@@ -4,11 +4,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.power.model import IDLE_PROFILE, WorkloadProfile
 
-__all__ = ["Job", "JobState"]
+__all__ = ["Job", "JobAttempt", "JobState"]
 
 
 class JobState(Enum):
@@ -21,11 +21,39 @@ class JobState(Enum):
     CANCELLED = "CA"
     TIMEOUT = "TO"
     NODE_FAIL = "NF"
+    #: ``--requeue`` semantics: the job hit NODE_FAIL, sits out a backoff
+    #: window, and returns to PENDING for another attempt.
+    REQUEUED = "RQ"
 
     @property
     def is_terminal(self) -> bool:
         """Whether the job has left the system."""
-        return self not in (JobState.PENDING, JobState.RUNNING)
+        return self not in (JobState.PENDING, JobState.RUNNING,
+                            JobState.REQUEUED)
+
+
+@dataclass(frozen=True)
+class JobAttempt:
+    """One execution attempt of a job, as recorded by accounting.
+
+    A job without requeues has exactly one attempt; a ``--requeue`` job
+    that survived node failures carries one record per attempt, so sacct
+    can show the full retry history (real SLURM's ``sacct --duplicates``).
+    """
+
+    attempt: int                 # 1-based attempt number
+    nodes: Tuple[str, ...]       # allocation this attempt ran on
+    start_time_s: float
+    end_time_s: float
+    state: JobState              # how this attempt ended
+    reason: str
+    #: Backoff until the next attempt becomes eligible (0 for the last one).
+    backoff_s: float = 0.0
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall time of this attempt."""
+        return self.end_time_s - self.start_time_s
 
 
 @dataclass
@@ -53,6 +81,17 @@ class Job:
     #: Set by scancel on a running job; the run process observes it at its
     #: next execution slice and winds the job down cleanly.
     cancel_requested: bool = False
+    #: ``sbatch --requeue``: on NODE_FAIL the job is retried (bounded by
+    #: ``max_requeues``) after an exponential backoff instead of failing.
+    requeue: bool = False
+    max_requeues: int = 3
+    #: Base of the exponential backoff: attempt *n* waits
+    #: ``requeue_backoff_s * 2**(n-1)`` before re-entering the queue.
+    requeue_backoff_s: float = 30.0
+    #: Number of times the job has been requeued so far.
+    restart_count: int = 0
+    #: Per-attempt accounting records (including the final attempt).
+    attempts: List[JobAttempt] = field(default_factory=list)
     submit_time_s: float = 0.0
     start_time_s: Optional[float] = None
     end_time_s: Optional[float] = None
@@ -66,6 +105,10 @@ class Job:
             raise ValueError("negative duration")
         if self.time_limit_s <= 0:
             raise ValueError("time limit must be positive")
+        if self.max_requeues < 0:
+            raise ValueError("max_requeues cannot be negative")
+        if self.requeue_backoff_s < 0:
+            raise ValueError("requeue backoff cannot be negative")
 
     @property
     def wait_time_s(self) -> Optional[float]:

@@ -53,6 +53,22 @@ class SlurmNodeInfo:
         self.reason = reason
         self.running_job = None
 
+    def drain(self, reason: str) -> None:
+        """Move the node into maintenance (DRAINED): no new work placed.
+
+        Legal from IDLE (administrative drain) and DOWN (a failed node
+        entering its recovery window).  Draining a node with a job still
+        allocated is an error — the controller must fail or finish the job
+        first (``mark_down`` is the failure path).
+        """
+        if self.state is NodeAllocState.ALLOCATED:
+            raise RuntimeError(
+                f"cannot drain {self.hostname} while job "
+                f"{self.running_job} is allocated; mark_down() is the "
+                f"failure path")
+        self.state = NodeAllocState.DRAINED
+        self.reason = reason
+
     def resume(self) -> None:
         """Return a down/drained node to service."""
         self.state = NodeAllocState.IDLE

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # runtime import is lazy: cluster imports this module
     from repro.cluster.node import ComputeNode
-from repro.slurm.job import Job, JobState
+from repro.slurm.job import Job, JobAttempt, JobState
 from repro.slurm.partition import NodeAllocState, Partition, SlurmNodeInfo
 
 __all__ = ["SlurmController"]
@@ -45,6 +45,31 @@ class SlurmController:
         self.compute_nodes: Dict[str, "ComputeNode"] = {}
         #: Completion listeners: job -> None callbacks.
         self.on_job_end: List[Callable[[Job], None]] = []
+        #: Requeue listeners: called when a NODE_FAIL job re-enters backoff.
+        self.on_job_requeue: List[Callable[[Job], None]] = []
+        # -- automatic node recovery (drain -> resume lifecycle) ----------
+        self._recovery_enabled = False
+        self.node_recovery_delay_s = 120.0
+        self._node_service: Optional[Callable[[str], Generator[Event, None, None]]] = None
+        self._recovering: set[str] = set()
+
+    def enable_node_recovery(self, delay_s: float = 120.0,
+                             service: Optional[Callable[[str], Generator[Event, None, None]]] = None) -> None:
+        """Turn on the automatic drain→resume lifecycle for failed nodes.
+
+        A node marked down via :meth:`node_failed` waits ``delay_s`` of
+        simulated operator-response time in DOWN, transitions to DRAINED
+        for servicing, then returns to IDLE and triggers a scheduling pass.
+        ``service`` is an optional cooperative generator ``(hostname) ->
+        events`` that performs the actual hardware service (cool-down wait,
+        reboot) while the node is DRAINED — the cluster wires
+        ``MonteCimoneCluster.service_node_process`` here.  Without a
+        service hook only the scheduler state cycles, which is appropriate
+        when no hardware nodes are bound.
+        """
+        self._recovery_enabled = True
+        self.node_recovery_delay_s = float(delay_s)
+        self._node_service = service
 
     # -- configuration ---------------------------------------------------------
     def add_partition(self, partition: Partition) -> None:
@@ -70,11 +95,17 @@ class SlurmController:
     def submit(self, name: str, user: str, n_nodes: int, duration_s: float,
                time_limit_s: Optional[float] = None,
                partition: Optional[str] = None, profile=None,
-               depends_on: Optional[List[int]] = None) -> Job:
+               depends_on: Optional[List[int]] = None,
+               requeue: bool = False, max_requeues: int = 3,
+               requeue_backoff_s: float = 30.0) -> Job:
         """sbatch: enqueue a job and trigger a scheduling pass.
 
         ``depends_on`` lists job ids this job must wait for
-        (``--dependency=afterok`` semantics).
+        (``--dependency=afterok`` semantics).  ``requeue`` enables
+        ``sbatch --requeue`` behaviour: a NODE_FAIL outcome puts the job
+        back in the queue after an exponential backoff
+        (``requeue_backoff_s * 2**restarts``) for up to ``max_requeues``
+        retries, each attempt recorded in the job's accounting history.
         """
         part = self.partitions.get(partition) if partition else self.default_partition()
         if part is None:
@@ -93,7 +124,9 @@ class SlurmController:
         job = Job(job_id=self._next_job_id, name=name, user=user,
                   n_nodes=n_nodes, duration_s=duration_s, time_limit_s=limit,
                   partition=part.name, submit_time_s=self.engine.now,
-                  depends_on=list(depends_on or []))
+                  depends_on=list(depends_on or []),
+                  requeue=requeue, max_requeues=max_requeues,
+                  requeue_backoff_s=requeue_backoff_s)
         if profile is not None:
             job.profile = profile
         self._next_job_id += 1
@@ -111,6 +144,10 @@ class SlurmController:
         elif job.state is JobState.RUNNING:
             # The run process observes the flag at its next slice; the job
             # stays RUNNING (nodes held) until it winds down cleanly.
+            job.cancel_requested = True
+        elif job.state is JobState.REQUEUED:
+            # Sitting out a requeue backoff; the backoff process observes
+            # the flag when it fires and cancels instead of re-enqueueing.
             job.cancel_requested = True
 
     # -- scheduling ----------------------------------------------------------
@@ -195,6 +232,7 @@ class SlurmController:
             info.allocate(job.job_id)
         job.state = JobState.RUNNING
         job.start_time_s = self.engine.now
+        job.end_time_s = None
         self.engine.spawn(self._run_job(job), name=f"job-{job.job_id}")
 
     # -- execution -----------------------------------------------------------
@@ -224,8 +262,7 @@ class SlurmController:
                 reason = (f"node failure: "
                           f"{','.join(n.hostname for n in tripped)} tripped")
                 for node in tripped:
-                    self._node_info(job, node.hostname).mark_down(
-                        "thermal trip")
+                    self.node_failed(node.hostname, "thermal trip")
                 break
             if len(bound) > 1:
                 self._account_mpi_traffic(job, bound, slice_s)
@@ -238,7 +275,13 @@ class SlurmController:
             if node.state is NodeState.RUNNING:
                 node.end_workload(self.engine.now)
         self._release(job)
-        self._finish(job, outcome, reason)
+        if (outcome is JobState.NODE_FAIL and job.requeue
+                and not job.cancel_requested
+                and job.restart_count < job.max_requeues):
+            self._requeue(job, reason)
+        else:
+            self._record_attempt(job, outcome, reason)
+            self._finish(job, outcome, reason)
         self.schedule_pass()
 
     #: Mean per-node GbE payload of a communication-heavy multi-node job
@@ -271,6 +314,84 @@ class SlurmController:
             info = self._node_info(job, hostname)
             if info.state is NodeAllocState.ALLOCATED:
                 info.release()
+
+    # -- requeue (--requeue semantics) ----------------------------------------
+    def _record_attempt(self, job: Job, state: JobState, reason: str,
+                        backoff_s: float = 0.0) -> None:
+        if job.start_time_s is None:
+            return  # never ran (cancelled while pending / in backoff)
+        job.attempts.append(JobAttempt(
+            attempt=len(job.attempts) + 1,
+            nodes=tuple(job.allocated_nodes),
+            start_time_s=job.start_time_s,
+            end_time_s=self.engine.now,
+            state=state,
+            reason=reason,
+            backoff_s=backoff_s))
+
+    def _requeue(self, job: Job, reason: str) -> None:
+        backoff = job.requeue_backoff_s * (2 ** job.restart_count)
+        self._record_attempt(job, JobState.NODE_FAIL, reason,
+                             backoff_s=backoff)
+        job.restart_count += 1
+        job.state = JobState.REQUEUED
+        job.end_time_s = self.engine.now
+        job.exit_reason = (f"requeued after node failure "
+                           f"(restart {job.restart_count}/{job.max_requeues}, "
+                           f"backoff {backoff:g}s)")
+        for callback in self.on_job_requeue:
+            callback(job)
+        self.engine.spawn(self._requeue_after_backoff(job, backoff),
+                          name=f"requeue-job-{job.job_id}")
+
+    def _requeue_after_backoff(self, job: Job,
+                               backoff_s: float) -> Generator[Event, None, None]:
+        """Hold the job out of the queue for its backoff, then re-enqueue."""
+        yield self.engine.timeout(backoff_s)
+        job.start_time_s = None
+        job.end_time_s = None
+        job.allocated_nodes = []
+        if job.cancel_requested:
+            self._finish(job, JobState.CANCELLED,
+                         "cancelled during requeue backoff")
+            return
+        job.state = JobState.PENDING
+        self._queue.append(job.job_id)
+        self.schedule_pass()
+
+    # -- node failure and recovery --------------------------------------------
+    def node_failed(self, hostname: str, reason: str) -> None:
+        """Record a node failure: mark it DOWN and start recovery if enabled.
+
+        Idempotent per outage — a node already DOWN/DRAINED (or already in
+        its recovery window) is not re-processed, so the watchdog trip path
+        and the per-job trip detection can both report the same incident.
+        """
+        for partition in self.partitions.values():
+            info = partition.nodes.get(hostname)
+            if info is None:
+                continue
+            if info.state not in (NodeAllocState.DOWN, NodeAllocState.DRAINED):
+                info.mark_down(reason)
+            if self._recovery_enabled and hostname not in self._recovering:
+                self._recovering.add(hostname)
+                self.engine.spawn(self._recover_node(hostname, info),
+                                  name=f"recover-{hostname}")
+
+    def _recover_node(self, hostname: str,
+                      info: SlurmNodeInfo) -> Generator[Event, None, None]:
+        """Drive one failed node through DOWN → DRAINED → IDLE."""
+        try:
+            # Operator response time: the node sits DOWN until someone acts.
+            yield self.engine.timeout(self.node_recovery_delay_s)
+            info.drain(f"recovering: {info.reason}")
+            if self._node_service is not None:
+                # Cooperative hardware service (cool-down wait + reboot).
+                yield from self._node_service(hostname)
+            info.resume()
+        finally:
+            self._recovering.discard(hostname)
+        self.schedule_pass()
 
     def _finish(self, job: Job, state: JobState, reason: str) -> None:
         job.state = state

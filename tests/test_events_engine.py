@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.events import Engine, SimulationError
+from repro.events import Engine, SimulationError, UnconsumedFailureError
 from repro.events.engine import AllOf, AnyOf
 
 
@@ -102,9 +102,16 @@ class TestEventStates:
         eng = Engine()
         event = eng.event()
         event.fail(RuntimeError("boom"))
+        event.defuse()  # nobody yields this event; we consume it below
         eng.run()
         with pytest.raises(RuntimeError, match="boom"):
             _ = event.value
+
+    def test_unconsumed_failure_raises_at_drain(self):
+        eng = Engine()
+        eng.event().fail(RuntimeError("boom"))
+        with pytest.raises(UnconsumedFailureError, match="boom"):
+            eng.run()
 
     def test_fail_requires_exception(self):
         eng = Engine()

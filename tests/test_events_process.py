@@ -194,3 +194,87 @@ def test_waiting_on_already_processed_event():
     proc = eng.spawn(late(eng))
     eng.run()
     assert proc.value == "v"
+
+
+def test_interrupt_just_spawned_process_defers_until_after_bootstrap():
+    # The interrupt lands *after* the bootstrap resumption: the body runs
+    # up to its first yield and catches the Interrupt there, instead of
+    # the exception being thrown into a never-started generator.
+    eng = Engine()
+    log = []
+
+    def worker(env):
+        log.append("body entered")
+        try:
+            yield env.timeout(10.0)
+        except Interrupt as interrupt:
+            log.append(f"interrupted: {interrupt.cause}")
+            return "handled"
+
+    proc = eng.spawn(worker(eng))
+    proc.interrupt("immediate")   # before the engine has run at all
+    eng.run()
+    assert log == ["body entered", "interrupted: immediate"]
+    assert proc.value == "handled"
+
+
+def test_double_interrupt_delivers_both_causes_in_order():
+    eng = Engine()
+
+    def sleeper(env):
+        causes = []
+        for _ in range(2):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                causes.append(interrupt.cause)
+        return causes
+
+    proc = eng.spawn(sleeper(eng))
+    eng.call_at(5.0, lambda: (proc.interrupt("first"),
+                              proc.interrupt("second")))
+    eng.run()
+    assert proc.value == ["first", "second"]
+
+
+def test_interrupt_during_all_of_wait():
+    eng = Engine()
+
+    def worker(env):
+        try:
+            yield env.all_of([env.timeout(50.0), env.timeout(80.0)])
+        except Interrupt as interrupt:
+            return ("interrupted", env.now, interrupt.cause)
+        return "finished"
+
+    proc = eng.spawn(worker(eng))
+    eng.call_at(10.0, lambda: proc.interrupt("drain"))
+    eng.run()   # the abandoned AllOf still fires at t=80, successfully
+    assert proc.value == ("interrupted", 10.0, "drain")
+    assert eng.unconsumed_failures == []
+
+
+def test_interrupt_in_same_instant_as_completion_is_dropped():
+    # The target finishes at t=5 before the interrupt's delivery event
+    # fires in the same instant: there is no frame left to deliver to, so
+    # the interrupt is consumed silently instead of polluting the ledger.
+    eng = Engine()
+
+    def quick(env):
+        yield env.timeout(5.0)
+        return "done"
+
+    fired = []
+
+    def racer(env):
+        yield env.timeout(5.0)
+        if proc.is_alive:
+            proc.interrupt("too late")
+            fired.append(True)
+
+    eng.spawn(racer(eng))          # spawned first: resumes first at t=5
+    proc = eng.spawn(quick(eng))
+    eng.run()
+    assert fired == [True]         # the interrupt really was issued...
+    assert proc.value == "done"    # ...but the process completed normally
+    assert eng.unconsumed_failures == []

@@ -127,6 +127,32 @@ class TestPowerCycleCoherence:
         assert node.state is NodeState.TRIPPED
 
 
+class TestTripCampaign:
+    def test_sweep_covers_lifecycle_and_converges(self):
+        from repro.slurm.faults import run_trip_campaign
+
+        # Boot completes ~21 s in; the 120 s job then occupies all nodes.
+        # Three trip times land one trial in each lifecycle phase.
+        campaign = run_trip_campaign([10.0, 90.0, 200.0])
+        assert campaign.phases_covered() == ["boot", "mid-job", "teardown"]
+        assert campaign.all_jobs_completed
+        assert campaign.all_nodes_recovered
+        # Crucially: no injected fault was silently lost by the kernel.
+        assert campaign.no_lost_failures
+
+        boot, mid, tail = campaign.trials
+        # A boot-time trip delays the job (it waits for recovery) but never
+        # fails it; a mid-job trip costs one NODE_FAIL attempt plus the
+        # requeued retry; a post-job trip does not touch the job at all.
+        assert boot.n_attempts == 1 and boot.restart_count == 0
+        assert mid.n_attempts == 2 and mid.restart_count == 1
+        assert tail.n_attempts == 1 and tail.restart_count == 0
+
+        report = campaign.summary()
+        assert len(report.splitlines()) == 1 + len(campaign.trials)
+        assert "mid-job" in report
+
+
 class TestSchedulerUnderCancellationStorm:
     def test_cancel_everything_leaves_clean_state(self, cluster):
         api = SlurmAPI(cluster.slurm)

@@ -156,6 +156,34 @@ class TestEngineRules:
                 time.sleep(1.0)
         """)
 
+    def test_raw_callback_append_flagged(self):
+        assert "ENG204" in ids("""
+            def attach(event, fn):
+                event.callbacks.append(fn)
+        """)
+
+    def test_raw_callback_append_on_nested_receiver_flagged(self):
+        assert "ENG204" in ids("""
+            def chain(self, proc):
+                self._target.callbacks.append(proc._resume)
+        """)
+
+    def test_raw_callback_append_exempt_inside_kernel(self):
+        # The kernel's own wiring is the one place raw appends are legal.
+        assert ids("""
+            def attach(event, fn):
+                event.callbacks.append(fn)
+        """, path="src/repro/events/process.py") == []
+
+    def test_other_appends_clean(self):
+        # Only the `.callbacks` receiver is the kernel contract; ordinary
+        # list appends (including listener lists) stay untouched.
+        assert ids("""
+            def collect(controller, rows, row):
+                rows.append(row)
+                controller.on_job_end.append(row)
+        """) == []
+
 
 class TestCalibrationRules:
     def test_duplicated_ddr_peak_flagged(self):
@@ -317,7 +345,7 @@ class TestRunnerAndCli:
     def test_cli_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("DET101", "ENG201", "CAL301", "UNIT401"):
+        for rule_id in ("DET101", "ENG201", "ENG204", "CAL301", "UNIT401"):
             assert rule_id in out
 
     def test_repro_main_lint_subcommand(self, capsys):

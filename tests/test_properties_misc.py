@@ -140,6 +140,7 @@ class TestKernelEdges:
         bad = engine.event()
         combined = engine.all_of([good, bad])
         bad.fail(ValueError("nope"))
+        combined.defuse()  # nobody yields the condition; consumed via .value
         engine.run(until=2.0)
         assert combined.triggered
         with pytest.raises(ValueError):
