@@ -8,6 +8,7 @@ Commands
 ``stack``       deploy the Table I software stack and list it
 ``power``       print the Table VI power model and boot decomposition
 ``lint``        run simlint (determinism / engine / calibration / units)
+``trace``       run a traced experiment, export Chrome trace_event JSON
 """
 
 from __future__ import annotations
@@ -103,6 +104,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.experiments import TRACED_EXPERIMENTS
+    from repro.obs.export import (chrome_trace_json, span_tree_text,
+                                  to_chrome_trace, validate_chrome_trace)
+
+    tracer = TRACED_EXPERIMENTS[args.experiment]()
+    if args.format in ("tree", "both"):
+        print(span_tree_text(tracer))
+    if args.format in ("chrome", "both"):
+        output = Path(args.output if args.output
+                      else f"{args.experiment}-trace.json")
+        output.write_text(chrome_trace_json(tracer))
+        print(f"wrote {output} ({len(tracer.spans)} spans); load it in "
+              f"chrome://tracing or https://ui.perfetto.dev")
+    if args.check:
+        problems = validate_chrome_trace(to_chrome_trace(tracer))
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}")
+            return 1
+        print("trace_event schema: OK")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch."""
     parser = argparse.ArgumentParser(
@@ -129,6 +154,22 @@ def main(argv: list[str] | None = None) -> int:
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--show-suppressed", action="store_true")
     lint.set_defaults(func=_cmd_lint)
+
+    trace = subparsers.add_parser(
+        "trace", help="trace the simulator itself over a canned experiment")
+    trace.add_argument("experiment",
+                       choices=("boot-power", "fault-recovery"),
+                       help="which instrumented scenario to run")
+    trace.add_argument("--output", default=None,
+                       help="Chrome trace JSON path "
+                            "(default: <experiment>-trace.json)")
+    trace.add_argument("--format", choices=("chrome", "tree", "both"),
+                       default="both",
+                       help="chrome trace_event JSON, text span tree, or both")
+    trace.add_argument("--check", action="store_true",
+                       help="validate the export against the trace_event "
+                            "schema (exit 1 on problems)")
+    trace.set_defaults(func=_cmd_trace)
 
     for name, func, help_text in [
         ("quickstart", _cmd_quickstart, "boot the cluster, run HPL"),

@@ -31,6 +31,7 @@ from repro.power.model import (
     RailPowerModel,
     WorkloadProfile,
 )
+from repro.obs.trace import span_of
 from repro.cluster.procfs import ProcFS
 from repro.thermal.enclosure import Enclosure
 from repro.thermal.model import NodeThermalModel
@@ -51,9 +52,11 @@ class NodeState(Enum):
 class ComputeNode:
     """One of the eight Monte Cimone compute nodes."""
 
-    #: Boot region durations from the Fig. 4 timeline.
-    R1_DURATION_S = next(p for p in BOOT_PHASES if p.name == "R1").duration_s
-    R2_DURATION_S = next(p for p in BOOT_PHASES if p.name == "R2").duration_s
+    #: Boot regions (and their durations) from the Fig. 4 timeline.
+    R1_PHASE = next(p for p in BOOT_PHASES if p.name == "R1")
+    R2_PHASE = next(p for p in BOOT_PHASES if p.name == "R2")
+    R1_DURATION_S = R1_PHASE.duration_s
+    R2_DURATION_S = R2_PHASE.duration_s
 
     def __init__(self, hostname: str, with_infiniband: bool = False,
                  patched_uboot: bool = True,
@@ -239,11 +242,15 @@ class ComputeNode:
         booting.
         """
         self.power_on(engine.now)
-        yield engine.timeout(self.R1_DURATION_S)
+        with span_of(engine, self.R1_PHASE.span_name, "boot",
+                     node=self.hostname, **self.R1_PHASE.span_attributes()):
+            yield engine.timeout(self.R1_DURATION_S)
         if self.state is NodeState.TRIPPED:
             return
         self.start_bootloader(engine.now)
-        yield engine.timeout(self.R2_DURATION_S)
+        with span_of(engine, self.R2_PHASE.span_name, "boot",
+                     node=self.hostname, **self.R2_PHASE.span_attributes()):
+            yield engine.timeout(self.R2_DURATION_S)
         if self.state is NodeState.TRIPPED:
             return
         self.finish_boot(engine.now)

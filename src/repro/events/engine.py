@@ -11,6 +11,12 @@ The API is intentionally close to SimPy's (``env.timeout``, ``env.process``)
 so the simulation code reads like standard discrete-event Python, but the
 implementation is from scratch — no third-party simulation dependency is
 used anywhere in the repository.
+
+Observability: an :class:`Engine` optionally carries a tracer
+(:mod:`repro.obs`) in its ``tracer`` attribute.  Every kernel hook is
+guarded by a single ``is not None`` test, so tracing costs nothing when
+disabled; when enabled, the tracer sees events scheduled/processed, heap
+depth, failure-ledger traffic, and the full process lifecycle as spans.
 """
 
 from __future__ import annotations
@@ -169,6 +175,9 @@ class Event:
         fire-and-forget failures that are genuinely expected to go
         unobserved.  Defusing a successful event is a harmless no-op.
         """
+        if (self._exception is not None and not self._defused
+                and self.engine.tracer is not None):
+            self.engine.tracer.on_failure_defused()
         self._defused = True
         self.engine._discard_failure(self)
 
@@ -307,6 +316,11 @@ class Engine:
         #: Failed, processed events whose exception nobody consumed yet.
         #: Insertion-ordered (dict) so diagnostics are deterministic.
         self._failures: dict[Event, FailureRecord] = {}
+        #: Observability hook (duck-typed: repro.obs.trace.Tracer).  The
+        #: kernel guards every hook call behind this single ``is not None``
+        #: check, so an untraced simulation pays one attribute test per
+        #: operation and allocates nothing.
+        self.tracer: Optional[Any] = None
 
     # -- clock ------------------------------------------------------------
     @property
@@ -333,6 +347,8 @@ class Engine:
             exception=exc,
             traceback_text=tb_text,
         )
+        if self.tracer is not None:
+            self.tracer.on_failure_ledgered()
 
     def _discard_failure(self, event: Event) -> None:
         self._failures.pop(event, None)
@@ -381,6 +397,8 @@ class Engine:
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+        if self.tracer is not None:
+            self.tracer.on_event_scheduled(len(self._queue))
 
     def call_at(self, when: float, callback: Callable[[], None]) -> Event:
         """Run ``callback()`` at absolute simulated time ``when``."""
@@ -401,6 +419,8 @@ class Engine:
         """
         when, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        if self.tracer is not None:
+            self.tracer.on_event_processed()
         event._run_callbacks()
         if event._exception is not None and not event._defused:
             self._record_failure(event)

@@ -48,7 +48,7 @@ class Process(Event):
     respect to other events scheduled in the same instant.
     """
 
-    __slots__ = ("generator", "name", "_target", "_started")
+    __slots__ = ("generator", "name", "_target", "_started", "obs_span")
 
     def __init__(self, engine: Engine, generator: Generator[Event, Any, Any], name: str = "") -> None:
         super().__init__(engine)
@@ -56,12 +56,17 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
         self._started = False
+        #: Trace span covering this process's lifetime (None when the
+        #: engine is untraced; see repro.obs).
+        self.obs_span = None
         # Kick off the process via a zero-delay bootstrap event.
         bootstrap = Event(engine)
         bootstrap._triggered = True
         engine._schedule(bootstrap)
         bootstrap.callbacks.append(self._resume)
         self._target = bootstrap
+        if engine.tracer is not None:
+            engine.tracer.on_process_spawn(self)
 
     @property
     def is_alive(self) -> bool:
@@ -120,6 +125,18 @@ class Process(Event):
 
     # -- internal ----------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        """Resume the generator, maintaining the tracer's span context."""
+        tracer = self.engine.tracer
+        if tracer is None:
+            self._resume_inner(event)
+            return
+        tracer.on_process_resume(self)
+        try:
+            self._resume_inner(event)
+        finally:
+            tracer.on_process_suspend(self, finished=self._triggered)
+
+    def _resume_inner(self, event: Event) -> None:
         self._started = True
         try:
             if event._exception is not None:

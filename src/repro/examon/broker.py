@@ -5,11 +5,27 @@ ExaMon uses: QoS-0 delivery (fire and forget), wildcard subscriptions,
 retained messages (so a dashboard attaching late sees the last sample of
 each series), and per-client delivery callbacks.  Delivery statistics are
 kept because the paper's deployment cares about monitoring overhead.
+
+Matching is served by a topic trie keyed on topic levels, with dedicated
+branches for the ``+`` and ``#`` wildcards, so a publish visits
+O(topic depth) index nodes instead of scanning every subscription — the
+structure mosquitto and every production broker use.  ``match_ops``
+counts visited index nodes; the observability layer exposes it as the
+deterministic measure of matching cost (simulation code may not read the
+host wall clock).
+
+Retained-flag semantics follow MQTT 3.1.1 §3.3.1.3: a message delivered
+live to an existing subscriber carries ``retained=False``; a message
+replayed from the retained store to a *new* subscriber carries
+``retained=True``.  (An earlier revision inverted this — live deliveries
+copied the publisher's ``retain`` request and replays reused the stored
+flag — which made it impossible for a dashboard to tell a fresh sample
+from a stale replay.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
 from repro.examon.topics import topic_matches
@@ -34,6 +50,31 @@ class Subscription:
     client_id: str
     pattern: str
     callback: Callable[[MQTTMessage], None]
+    #: Broker-assigned insertion sequence; deliveries happen in
+    #: subscription order regardless of the index traversal order.
+    seq: int = 0
+
+
+class _TrieNode:
+    """One level of the subscription index."""
+
+    __slots__ = ("children", "plus", "here", "hash_here")
+
+    def __init__(self) -> None:
+        #: Exact next-level branches.
+        self.children: Dict[str, _TrieNode] = {}
+        #: The ``+`` single-level wildcard branch.
+        self.plus: Optional[_TrieNode] = None
+        #: Subscriptions whose pattern ends exactly at this node.
+        self.here: List[Subscription] = []
+        #: Subscriptions whose pattern ends in ``#`` at this node (they
+        #: match this node's topic and everything below it).
+        self.hash_here: List[Subscription] = []
+
+    def is_empty(self) -> bool:
+        """True when the node indexes nothing and can be pruned."""
+        return (not self.children and self.plus is None
+                and not self.here and not self.hash_here)
 
 
 class MQTTBroker:
@@ -42,26 +83,39 @@ class MQTTBroker:
     def __init__(self, hostname: str = "mc-master") -> None:
         self.hostname = hostname
         self._subscriptions: List[Subscription] = []
+        self._root = _TrieNode()
         self._retained: Dict[str, MQTTMessage] = {}
+        self._next_seq = 1
         self.messages_published = 0
         self.messages_delivered = 0
         self.bytes_published = 0
+        #: Subscription-index nodes visited while matching (the
+        #: deterministic "match time" the metrics registry exposes).
+        self.match_ops = 0
+
+    @property
+    def subscription_count(self) -> int:
+        """Live subscriptions across all clients."""
+        return len(self._subscriptions)
 
     # -- subscribe ----------------------------------------------------------
     def subscribe(self, client_id: str, pattern: str,
                   callback: Callable[[MQTTMessage], None]) -> Subscription:
         """Register a wildcard subscription.
 
-        Retained messages matching the pattern are delivered immediately,
-        per MQTT retained-message semantics.
+        Retained messages matching the pattern are delivered immediately
+        with the retain flag **set**, per MQTT retained-message semantics
+        (the subscriber can tell these replays from live traffic).
         """
         topic_matches(pattern, "probe")  # validates '#' placement
         subscription = Subscription(client_id=client_id, pattern=pattern,
-                                    callback=callback)
+                                    callback=callback, seq=self._next_seq)
+        self._next_seq += 1
         self._subscriptions.append(subscription)
-        for topic, message in self._retained.items():
+        self._index_insert(subscription)
+        for topic in sorted(self._retained):
             if topic_matches(pattern, topic):
-                callback(message)
+                callback(replace(self._retained[topic], retained=True))
                 self.messages_delivered += 1
         return subscription
 
@@ -69,10 +123,72 @@ class MQTTBroker:
         """Drop a subscription (no-op if already gone)."""
         if subscription in self._subscriptions:
             self._subscriptions.remove(subscription)
+            self._index_remove(subscription)
 
     def subscriptions_of(self, client_id: str) -> List[Subscription]:
         """All live subscriptions of one client."""
         return [s for s in self._subscriptions if s.client_id == client_id]
+
+    # -- subscription index --------------------------------------------------
+    def _index_insert(self, subscription: Subscription) -> None:
+        node = self._root
+        parts = subscription.pattern.split("/")
+        for i, part in enumerate(parts):
+            if part == "#":
+                # topic_matches already rejected interior '#'.
+                node.hash_here.append(subscription)
+                return
+            if part == "+":
+                if node.plus is None:
+                    node.plus = _TrieNode()
+                node = node.plus
+            else:
+                node = node.children.setdefault(part, _TrieNode())
+        node.here.append(subscription)
+
+    def _index_remove(self, subscription: Subscription) -> None:
+        """Remove a subscription from the trie, pruning emptied nodes."""
+        path: List[tuple[_TrieNode, str]] = []
+        node = self._root
+        for part in subscription.pattern.split("/"):
+            if part == "#":
+                node.hash_here.remove(subscription)
+                break
+            path.append((node, part))
+            node = node.plus if part == "+" else node.children[part]
+        else:
+            node.here.remove(subscription)
+        for parent, part in reversed(path):
+            child = parent.plus if part == "+" else parent.children[part]
+            if not child.is_empty():
+                break
+            if part == "+":
+                parent.plus = None
+            else:
+                del parent.children[part]
+
+    def _match(self, topic_parts: List[str]) -> List[Subscription]:
+        """Subscriptions matching a topic, in subscription order."""
+        matched: List[Subscription] = []
+        stack: List[tuple[_TrieNode, int]] = [(self._root, 0)]
+        n_levels = len(topic_parts)
+        while stack:
+            node, depth = stack.pop()
+            self.match_ops += 1
+            # A '#' ending here matches the remaining levels (including
+            # zero of them): 'a/#' matches both 'a' and 'a/b/c'.
+            matched.extend(node.hash_here)
+            if depth == n_levels:
+                matched.extend(node.here)
+                continue
+            part = topic_parts[depth]
+            child = node.children.get(part)
+            if child is not None:
+                stack.append((child, depth + 1))
+            if node.plus is not None:
+                stack.append((node.plus, depth + 1))
+        matched.sort(key=lambda s: s.seq)
+        return matched
 
     # -- publish -----------------------------------------------------------
     def publish(self, topic: str, payload: str, timestamp_s: float,
@@ -80,21 +196,22 @@ class MQTTBroker:
         """Publish one message; returns the number of deliveries.
 
         ExaMon retains the last sample per topic by default so that
-        dashboards attaching mid-run render immediately.
+        dashboards attaching mid-run render immediately.  Live deliveries
+        carry ``retained=False`` (MQTT 3.1.1: the retain flag marks store
+        replays, not the publisher's retain request).
         """
         if "+" in topic or "#" in topic:
             raise ValueError(f"cannot publish to a wildcard topic: {topic!r}")
         message = MQTTMessage(topic=topic, payload=payload,
-                              timestamp_s=timestamp_s, retained=retain)
+                              timestamp_s=timestamp_s, retained=False)
         self.messages_published += 1
         self.bytes_published += len(topic) + len(payload)
         if retain:
             self._retained[topic] = message
         delivered = 0
-        for subscription in list(self._subscriptions):
-            if topic_matches(subscription.pattern, topic):
-                subscription.callback(message)
-                delivered += 1
+        for subscription in self._match(topic.split("/")):
+            subscription.callback(message)
+            delivered += 1
         self.messages_delivered += delivered
         return delivered
 

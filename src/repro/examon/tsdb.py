@@ -85,8 +85,21 @@ class TimeSeriesDB:
                   window_s: float, how: str = "mean") -> List[SeriesPoint]:
         """Window aggregation: one point per ``window_s`` bucket.
 
-        Buckets are labelled by their start time; empty buckets are
-        omitted (Grafana's default null handling).
+        Buckets are ``[start, start + window)`` half-open intervals
+        labelled by their start time; empty buckets are omitted (Grafana's
+        default null handling).  A point exactly at ``end_s`` is included
+        only when a bucket *starting* before ``end_s`` covers it, matching
+        the label contract — the last bucket is never labelled at or past
+        ``end_s``.
+
+        The scan is a single forward pass over the (sorted) points in
+        range: each point is visited once and assigned to the bucket it
+        falls in, so a query costs O(points + log(series)) regardless of
+        how many buckets the window divides the range into.  (An earlier
+        revision rescanned the full point list for every bucket —
+        O(points × buckets) — and carried a vestigial bucket counter whose
+        ``i <= len(points)`` guard silently truncated aggregations with
+        more leading empty buckets than stored points.)
         """
         if window_s <= 0:
             raise ValueError("window must be positive")
@@ -96,18 +109,22 @@ class TimeSeriesDB:
         aggregate = _AGGREGATORS[how]
         points = self.query(topic, start_s, end_s)
         out: List[SeriesPoint] = []
+        idx, n_points = 0, len(points)
         bucket_start = start_s
-        bucket_vals: List[float] = []
-        i = 0
-        while bucket_start < end_s and i <= len(points):
+        while bucket_start < end_s and idx < n_points:
             bucket_end = bucket_start + window_s
-            bucket_vals = [v for t, v in points if bucket_start <= t < bucket_end]
+            # Points before the first bucket cannot exist (query() already
+            # clipped at start_s), so idx only ever moves forward.
+            bucket_vals: List[float] = []
+            while idx < n_points:
+                t, v = points[idx]
+                if t >= bucket_end:
+                    break
+                bucket_vals.append(v)
+                idx += 1
             if bucket_vals:
                 out.append((bucket_start, aggregate(bucket_vals)))
             bucket_start = bucket_end
-            i += 1
-            if bucket_start > (points[-1][0] if points else end_s):
-                break
         return out
 
     def rate(self, topic: str, start_s: float = float("-inf"),

@@ -1,0 +1,42 @@
+"""Observability for the simulator itself: span tracing and metrics.
+
+The ExaMon substrate (:mod:`repro.examon`) observes the *simulated*
+cluster; this package observes the *simulation* — which processes ran
+when, where engine time went, what the broker hot path cost.  It is the
+measurement layer every performance PR asserts against.
+
+Layout:
+
+* :mod:`repro.obs.trace` — spans over simulated time, the tracer, and
+  the kernel hook protocol (``Engine.tracer``);
+* :mod:`repro.obs.metrics` — counters/gauges and the registry;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto /
+  ``chrome://tracing``) and plain-text span trees;
+* :mod:`repro.obs.instrument` — attaching tracers and registering
+  broker/scheduler/MPI metrics;
+* :mod:`repro.obs.experiments` — the canned traced runs behind the
+  ``repro trace`` CLI subcommand.
+
+Everything here is deterministic: spans carry simulated timestamps and
+metrics count simulation work, so traces are byte-identical across runs
+and machines (simlint's DET rules apply to this package like any other).
+"""
+
+from repro.obs.export import (chrome_trace_json, span_tree_text,
+                              to_chrome_trace, validate_chrome_trace)
+from repro.obs.instrument import (attach_tracer, detach_tracer,
+                                  register_broker_metrics,
+                                  register_mpi_metrics,
+                                  register_scheduler_metrics)
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.trace import NULL_SPAN, Span, Tracer, span_of
+
+__all__ = [
+    "Counter", "Gauge", "MetricsRegistry",
+    "NULL_SPAN", "Span", "Tracer", "span_of",
+    "attach_tracer", "detach_tracer",
+    "register_broker_metrics", "register_mpi_metrics",
+    "register_scheduler_metrics",
+    "chrome_trace_json", "span_tree_text", "to_chrome_trace",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,96 @@
+"""Traced simulation experiments for the ``repro trace`` CLI.
+
+Each experiment builds a fully-instrumented run — tracer on the engine,
+broker/scheduler metrics registered — drives a representative scenario,
+and returns the :class:`~repro.obs.trace.Tracer` holding the span tree
+and the metrics snapshot.  They are deliberately small (tens of simulated
+seconds) so tracing a misbehaving campaign locally takes moments, not the
+campaign's full runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.obs.instrument import (attach_tracer, register_broker_metrics,
+                                  register_scheduler_metrics)
+from repro.obs.trace import Tracer
+
+__all__ = ["TRACED_EXPERIMENTS", "trace_boot_power", "trace_fault_recovery"]
+
+
+def trace_boot_power(job_duration_s: float = 30.0) -> Tracer:
+    """The Fig. 4 boot-power scenario, traced end to end.
+
+    Boots all eight nodes (R1/R2 region spans per node), starts the
+    ExaMon deployment (plugin daemon processes), then runs a short
+    four-node HPL job — so the trace shows boot phases, SLURM job
+    attempts and the job's MPI panel-broadcast collectives on one
+    timeline.
+    """
+    from repro.cluster.cluster import MonteCimoneCluster
+    from repro.events.engine import Engine
+    from repro.examon.deployment import ExamonDeployment
+    from repro.power.model import HPL_PROFILE
+    from repro.slurm.api import SlurmAPI
+    from repro.thermal.enclosure import EnclosureConfig
+
+    engine = Engine()
+    tracer = attach_tracer(engine)
+    cluster = MonteCimoneCluster(engine=engine,
+                                 enclosure_config=EnclosureConfig.mitigated())
+    register_scheduler_metrics(tracer.metrics, cluster.slurm)
+    with tracer.span("experiment.boot-power", "experiment"):
+        cluster.boot_all()
+        deployment = ExamonDeployment(cluster)
+        register_broker_metrics(tracer.metrics, deployment.broker)
+        deployment.start()
+        api = SlurmAPI(cluster.slurm)
+        api.srun("hpl", "trace", nodes=4, duration_s=job_duration_s,
+                 profile=HPL_PROFILE)
+        deployment.stop()
+        # One more sampling period so the plugin daemons observe their
+        # stop flag and their process spans close.
+        cluster.run_for(max(p.period_s for p in
+                            deployment.stats_plugins.values()))
+    return tracer
+
+
+def trace_fault_recovery(job_duration_s: float = 60.0,
+                         trip_at_s: float = 20.0) -> Tracer:
+    """A fault-injection run: node trip mid-job, requeue, auto-recovery.
+
+    The trace shows the failed first attempt, the backoff window (the gap
+    between attempt spans inside the job span), the recovery process of
+    the tripped node, and the successful second attempt.
+    """
+    from repro.cluster.cluster import MonteCimoneCluster
+    from repro.events.engine import Engine
+    from repro.power.model import HPL_PROFILE
+    from repro.thermal.enclosure import EnclosureConfig
+
+    engine = Engine()
+    tracer = attach_tracer(engine)
+    cluster = MonteCimoneCluster(engine=engine,
+                                 enclosure_config=EnclosureConfig.mitigated())
+    register_scheduler_metrics(tracer.metrics, cluster.slurm)
+    with tracer.span("experiment.fault-recovery", "experiment"):
+        cluster.boot_all()
+        cluster.enable_auto_recovery(delay_s=30.0)
+        job = cluster.slurm.submit("hpl", "trace", n_nodes=4,
+                                   duration_s=job_duration_s,
+                                   profile=HPL_PROFILE, requeue=True)
+        victim = job.allocated_nodes[0]
+        cluster.run_for(trip_at_s)
+        cluster.inject_node_failure(victim, reason="injected fault")
+        guard = engine.now + 100 * job_duration_s
+        while not job.state.is_terminal and engine.peek() <= guard:
+            engine.step()
+    return tracer
+
+
+#: Experiment name → builder, as exposed by ``repro trace <experiment>``.
+TRACED_EXPERIMENTS: Dict[str, Callable[[], Tracer]] = {
+    "boot-power": trace_boot_power,
+    "fault-recovery": trace_fault_recovery,
+}

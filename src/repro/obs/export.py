@@ -1,0 +1,146 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a plain-text tree.
+
+The JSON form follows the Trace Event Format used by ``chrome://tracing``
+and Perfetto: one complete-duration event (``"ph": "X"``) per finished
+span, timestamps in microseconds, plus metadata events naming each track.
+Tracks (``tid``) map to the span's nearest enclosing *process* span, so a
+node's boot phases stack inside its boot process, a job's slices inside
+the job process — the layout the scheduler actually produced.
+
+The text form is the grep-friendly equivalent: an indented tree with
+durations and attributes, one span per line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import Span, Tracer
+
+__all__ = ["to_chrome_trace", "chrome_trace_json", "span_tree_text",
+           "validate_chrome_trace"]
+
+#: Synthetic process id for the whole simulation (one sim = one "process").
+_PID = 1
+
+
+def _track_of(span: Span, spans: Dict[int, Span]) -> int:
+    """The track a span renders on: its nearest process-span ancestor."""
+    node: Optional[Span] = span
+    while node is not None:
+        if node.category == "process":
+            return node.span_id
+        node = spans.get(node.parent_id) if node.parent_id is not None else None
+    return 0  # top-level non-process spans share the "main" track
+
+
+def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """Render finished spans as a Chrome trace_event document.
+
+    Open spans (a daemon still running when the run stopped) are clamped
+    to the tracer's current time so the export is always loadable.
+    """
+    spans = tracer.by_id()
+    events: List[Dict[str, Any]] = []
+    tracks: Dict[int, str] = {}
+    for span in tracer.spans:
+        end_s = span.end_s if span.end_s is not None else tracer.now
+        tid = _track_of(span, spans)
+        if tid not in tracks:
+            tracks[tid] = (spans[tid].name if tid in spans else "main")
+        args: Dict[str, Any] = {"span_id": span.span_id,
+                                "status": span.status}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attributes)
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start_s * 1e6,
+            "dur": max(end_s - span.start_s, 0.0) * 1e6,
+            "pid": _PID,
+            "tid": tid,
+            "args": args,
+        })
+    # Monotone per-track timestamps: sort by (tid, ts, span_id).
+    events.sort(key=lambda e: (e["tid"], e["ts"], e["args"]["span_id"]))
+    metadata: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+        "args": {"name": "repro simulation"},
+    }]
+    for tid in sorted(tracks):
+        metadata.append({"name": "thread_name", "ph": "M", "pid": _PID,
+                         "tid": tid, "args": {"name": tracks[tid]}})
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(tracer: Tracer) -> str:
+    """The trace document serialised (stable key order)."""
+    return json.dumps(to_chrome_trace(tracer), sort_keys=True, indent=1)
+
+
+def span_tree_text(tracer: Tracer, metrics: bool = True) -> str:
+    """Indented span forest with durations, statuses and attributes."""
+    lines: List[str] = []
+    for depth, span in tracer.walk():
+        end_s = span.end_s if span.end_s is not None else tracer.now
+        marker = "" if span.finished else " (open)"
+        status = "" if span.status == "ok" else f" !{span.status}"
+        attrs = ""
+        if span.attributes:
+            attrs = "  {" + ", ".join(
+                f"{k}={v}" for k, v in sorted(span.attributes.items())) + "}"
+        lines.append(f"{'  ' * depth}{span.name}  "
+                     f"[{span.start_s:.3f}s – {end_s:.3f}s, "
+                     f"{end_s - span.start_s:.3f}s]{status}{marker}{attrs}")
+    if not lines:
+        lines.append("(no spans recorded)")
+    if metrics:
+        lines.append("")
+        lines.append("-- metrics " + "-" * 40)
+        lines.append(tracer.metrics.render())
+    return "\n".join(lines)
+
+
+def validate_chrome_trace(document: Any) -> List[str]:
+    """Structural validation against the Trace Event Format.
+
+    Returns a list of problems (empty = valid).  Checks the invariants
+    Perfetto's importer actually enforces: the event array exists, every
+    event carries name/ph/pid/tid, ``X`` events have numeric ``ts`` and a
+    non-negative ``dur``, and timestamps are monotone within each track.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        return ["document is not an object with a 'traceEvents' array"]
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' is not an array"]
+    last_ts: Dict[Any, float] = {}
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        if ph != "X":
+            problems.append(f"{where}: unexpected phase {ph!r}")
+            continue
+        ts, dur = event.get("ts"), event.get("dur")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: non-numeric ts {ts!r}")
+            continue
+        if not isinstance(dur, (int, float)) or dur < 0:
+            problems.append(f"{where}: bad dur {dur!r}")
+        track = (event.get("pid"), event.get("tid"))
+        if ts < last_ts.get(track, float("-inf")):
+            problems.append(f"{where}: ts {ts} goes backwards on track {track}")
+        last_ts[track] = ts
+    return problems

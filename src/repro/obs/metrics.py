@@ -1,0 +1,135 @@
+"""Counters and gauges for the simulation substrate itself.
+
+The ExaMon layer observes the *simulated* cluster; this registry observes
+the *simulator*: how many kernel events fired, how deep the heap got, how
+many broker deliveries a fault campaign cost.  Everything here is
+deterministic — metrics count simulation work, never host wall-clock time
+— so a metrics snapshot is as replayable as the run that produced it.
+
+Three instrument kinds cover every use in the tree:
+
+* :class:`Counter` — monotone event counts (``engine.events_processed``);
+* :class:`Gauge` — last-value-wins levels with a high-watermark
+  (``engine.heap_depth``);
+* callback gauges — read-through views over state other subsystems
+  already keep (``broker.messages_published``), registered with
+  :meth:`MetricsRegistry.gauge_callback` so a snapshot never requires the
+  owner to push updates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the count."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease by {n}")
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-value level that also remembers its high watermark."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name!r}, {self.value}, max={self.max_value})"
+
+
+class MetricsRegistry:
+    """Name-keyed instruments with a flat snapshot view.
+
+    Instruments are created on first use (``registry.counter(name)`` is
+    get-or-create), so instrumented code never needs a registration phase
+    and two subsystems naming the same metric share one instrument.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._callbacks: Dict[str, Callable[[], float]] = {}
+
+    # -- construction -------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            self._check_fresh(name, self._counters)
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            self._check_fresh(name, self._gauges)
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def gauge_callback(self, name: str, read: Callable[[], float]) -> None:
+        """Register a read-through gauge backed by ``read()``.
+
+        Re-registering the same name replaces the callback (an experiment
+        re-wiring a fresh broker onto a long-lived registry).
+        """
+        if name in self._counters or name in self._gauges:
+            raise ValueError(f"metric {name!r} already exists as an instrument")
+        self._callbacks[name] = read
+
+    def _check_fresh(self, name: str, own: Dict[str, object]) -> None:
+        for kind in (self._counters, self._gauges, self._callbacks):
+            if kind is not own and name in kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different kind")
+
+    # -- views ---------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """All metric values by name, sorted for deterministic rendering."""
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = float(counter.value)
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+            out[name + ".max"] = gauge.max_value
+        for name, read in self._callbacks.items():
+            out[name] = float(read())
+        return dict(sorted(out.items()))
+
+    def render(self) -> str:
+        """Plain-text ``name value`` listing (one metric per line)."""
+        snap = self.snapshot()
+        if not snap:
+            return "(no metrics)"
+        width = max(len(name) for name in snap)
+        return "\n".join(f"{name:<{width}}  {value:g}"
+                         for name, value in snap.items())
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(self.snapshot().items())

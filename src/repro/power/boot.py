@@ -39,6 +39,21 @@ class BootPhase:
         """Length of the region in seconds."""
         return self.end_s - self.start_s
 
+    @property
+    def span_name(self) -> str:
+        """Trace-span name for this region (``boot.R1``, ``boot.R2``, ...)."""
+        return f"boot.{self.name}"
+
+    def span_attributes(self) -> Dict[str, object]:
+        """Attribute payload for this region's trace span.
+
+        Used by :meth:`repro.cluster.node.ComputeNode.boot_process` so a
+        boot trace carries the Fig. 4 region identity alongside the
+        simulated timing.
+        """
+        return {"region": self.name, "node_phase": self.phase.value,
+                "nominal_duration_s": self.duration_s}
+
 
 #: The Fig. 4 timeline.  Power is applied at t = 4 s; the PLL locks at
 #: t = 10 s; the OS takes over at t = 25 s and is fully idle by t = 40 s.

@@ -19,7 +19,7 @@ paper's Fig. 6 incident, as seen by the scheduler.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.events.engine import Engine, Event
 from typing import TYPE_CHECKING
@@ -52,6 +52,14 @@ class SlurmController:
         self.node_recovery_delay_s = 120.0
         self._node_service: Optional[Callable[[str], Generator[Event, None, None]]] = None
         self._recovering: set[str] = set()
+        #: Open trace spans per job id (submit → terminal state), present
+        #: only while the engine carries a tracer (see repro.obs).
+        self._job_spans: Dict[int, Any] = {}
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently waiting in the pending queue."""
+        return len(self._queue)
 
     def enable_node_recovery(self, delay_s: float = 120.0,
                              service: Optional[Callable[[str], Generator[Event, None, None]]] = None) -> None:
@@ -132,6 +140,10 @@ class SlurmController:
         self._next_job_id += 1
         self.jobs[job.job_id] = job
         self._queue.append(job.job_id)
+        if self.engine.tracer is not None:
+            self._job_spans[job.job_id] = self.engine.tracer.begin(
+                f"slurm.job:{job.job_id}", "slurm", job_id=job.job_id,
+                job_name=job.name, user=job.user, n_nodes=job.n_nodes)
         self.schedule_pass()
         return job
 
@@ -242,6 +254,15 @@ class SlurmController:
 
         bound = [self.compute_nodes[h] for h in job.allocated_nodes
                  if h in self.compute_nodes]
+        tracer = self.engine.tracer
+        attempt_span = None
+        if tracer is not None:
+            attempt_span = tracer.begin(
+                f"slurm.attempt:{job.job_id}.{len(job.attempts) + 1}",
+                "slurm", parent=self._job_spans.get(job.job_id),
+                job_id=job.job_id, attempt=len(job.attempts) + 1,
+                job_name=job.name,
+                nodes=",".join(job.allocated_nodes))
         for node in bound:
             node.begin_workload(job.profile, self.engine.now)
         step = 1.0
@@ -265,7 +286,8 @@ class SlurmController:
                     self.node_failed(node.hostname, "thermal trip")
                 break
             if len(bound) > 1:
-                self._account_mpi_traffic(job, bound, slice_s)
+                self._account_mpi_traffic(job, bound, slice_s,
+                                          span=attempt_span)
             for node in bound:
                 node.sync_to(self.engine.now)
         else:
@@ -274,6 +296,10 @@ class SlurmController:
         for node in bound:
             if node.state is NodeState.RUNNING:
                 node.end_workload(self.engine.now)
+        if attempt_span is not None:
+            attempt_span.set(outcome=outcome.value)
+            attempt_span.end("ok" if outcome is JobState.COMPLETED
+                             else "failed")
         self._release(job)
         if (outcome is JobState.NODE_FAIL and job.requeue
                 and not job.cancel_requested
@@ -289,12 +315,14 @@ class SlurmController:
     MPI_BYTES_PER_NODE_S = 15e6
 
     def _account_mpi_traffic(self, job: Job, bound: List["ComputeNode"],
-                             slice_s: float) -> None:
+                             slice_s: float, span: Any = None) -> None:
         """Drive the nodes' network counters during a multi-node job.
 
         Communication is anti-correlated with compute phases: the
         instruction-rate dips of Fig. 5 are panel broadcasts, i.e. network
         bursts — so the traffic factor inverts the activity modulation.
+        When traced, each slice's burst is recorded as an ``mpi.*``
+        collective span under the job attempt (``span``).
         """
         from repro.power.traces import activity_modulation
 
@@ -305,6 +333,12 @@ class SlurmController:
         for node in bound:
             node.board.ethernet.account_send(per_node // 2)
             node.board.ethernet.account_receive(per_node // 2)
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("mpi.panel_broadcast",
+                          self.engine.now - slice_s, self.engine.now,
+                          category="mpi", parent=span,
+                          bytes_per_node=per_node, n_ranks=len(bound))
 
     def _node_info(self, job: Job, hostname: str) -> SlurmNodeInfo:
         return self.partitions[job.partition].nodes[hostname]
@@ -339,6 +373,9 @@ class SlurmController:
         job.exit_reason = (f"requeued after node failure "
                            f"(restart {job.restart_count}/{job.max_requeues}, "
                            f"backoff {backoff:g}s)")
+        span = self._job_spans.get(job.job_id)
+        if span is not None:
+            span.set(restarts=job.restart_count, last_backoff_s=backoff)
         for callback in self.on_job_requeue:
             callback(job)
         self.engine.spawn(self._requeue_after_backoff(job, backoff),
@@ -397,6 +434,10 @@ class SlurmController:
         job.state = state
         job.end_time_s = self.engine.now
         job.exit_reason = reason
+        span = self._job_spans.pop(job.job_id, None)
+        if span is not None:
+            span.set(final_state=state.value, reason=reason)
+            span.end("ok" if state is JobState.COMPLETED else "failed")
         for callback in self.on_job_end:
             callback(job)
 

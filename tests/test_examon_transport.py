@@ -153,3 +153,134 @@ class TestBroker:
         broker.publish("b/x", "1;1", timestamp_s=1.0)
         broker.publish("a/y", "1;1", timestamp_s=1.0)
         assert broker.retained_topics() == ["a/y", "b/x"]
+
+
+class TestRetainedFlagSemantics:
+    """MQTT 3.1.1 §3.3.1.3: the retain flag marks retained-store replays.
+
+    An earlier revision inverted this — live deliveries copied the
+    publisher's retain *request* and replays reused the stored flag — so a
+    subscriber could not tell a fresh sample from a stale replay.
+    """
+
+    def test_live_delivery_carries_retained_false(self):
+        broker = MQTTBroker()
+        received = []
+        broker.subscribe("live", "a/#", received.append)
+        broker.publish("a/b", "1;1", timestamp_s=1.0, retain=True)
+        assert len(received) == 1
+        assert received[0].retained is False
+
+    def test_replay_to_late_subscriber_carries_retained_true(self):
+        broker = MQTTBroker()
+        broker.publish("a/b", "1;1", timestamp_s=1.0, retain=True)
+        received = []
+        broker.subscribe("late", "a/#", received.append)
+        assert len(received) == 1
+        assert received[0].retained is True
+
+    def test_replay_preserves_topic_payload_and_timestamp(self):
+        broker = MQTTBroker()
+        broker.publish("a/b", "42.5;7.0", timestamp_s=7.0)
+        received = []
+        broker.subscribe("late", "#", received.append)
+        message = received[0]
+        assert (message.topic, message.payload, message.timestamp_s) == \
+            ("a/b", "42.5;7.0", 7.0)
+
+    def test_same_subscriber_sees_replay_then_live_flags(self):
+        broker = MQTTBroker()
+        broker.publish("a/b", "1;1", timestamp_s=1.0)
+        received = []
+        broker.subscribe("c", "a/b", received.append)
+        broker.publish("a/b", "2;2", timestamp_s=2.0)
+        assert [m.retained for m in received] == [True, False]
+
+    def test_unretained_publish_not_replayed(self):
+        broker = MQTTBroker()
+        broker.publish("a/b", "1;1", timestamp_s=1.0, retain=False)
+        received = []
+        broker.subscribe("late", "#", received.append)
+        assert received == []
+
+
+class TestTopicTrie:
+    """The subscription index: wildcard correctness, order, pruning."""
+
+    def test_hash_pattern_matches_prefix_itself(self):
+        broker = MQTTBroker()
+        received = []
+        broker.subscribe("c", "a/#", received.append)
+        broker.publish("a", "1;1", timestamp_s=1.0)
+        broker.publish("a/b/c", "1;1", timestamp_s=1.0)
+        assert [m.topic for m in received] == ["a", "a/b/c"]
+
+    def test_root_hash_matches_everything(self):
+        broker = MQTTBroker()
+        received = []
+        broker.subscribe("c", "#", received.append)
+        for topic in ("a", "a/b", "x/y/z"):
+            broker.publish(topic, "1;1", timestamp_s=1.0)
+        assert len(received) == 3
+
+    def test_overlapping_patterns_deliver_in_subscription_order(self):
+        broker = MQTTBroker()
+        order = []
+        broker.subscribe("c3", "a/b/c", lambda m: order.append("exact"))
+        broker.subscribe("c1", "#", lambda m: order.append("hash"))
+        broker.subscribe("c2", "a/+/c", lambda m: order.append("plus"))
+        assert broker.publish("a/b/c", "1;1", timestamp_s=1.0) == 3
+        assert order == ["exact", "hash", "plus"]
+
+    def test_plus_does_not_match_deeper_topics(self):
+        broker = MQTTBroker()
+        received = []
+        broker.subscribe("c", "a/+", received.append)
+        broker.publish("a/b/c", "1;1", timestamp_s=1.0)
+        broker.publish("a/b", "1;1", timestamp_s=1.0)
+        assert [m.topic for m in received] == ["a/b"]
+
+    def test_unsubscribe_prunes_index(self):
+        broker = MQTTBroker()
+        subs = [broker.subscribe("c", p, lambda m: None)
+                for p in ("a/b/c", "a/+/c", "a/#", "#", "x/y")]
+        for sub in subs:
+            broker.unsubscribe(sub)
+        assert broker.subscription_count == 0
+        assert broker._root.is_empty()
+        assert broker.publish("a/b/c", "1;1", timestamp_s=1.0) == 0
+
+    def test_unsubscribe_keeps_sibling_subscriptions(self):
+        broker = MQTTBroker()
+        received = []
+        doomed = broker.subscribe("c1", "a/+/c", lambda m: None)
+        broker.subscribe("c2", "a/b/#", received.append)
+        broker.unsubscribe(doomed)
+        assert broker.publish("a/b/c", "1;1", timestamp_s=1.0) == 1
+        assert received[0].topic == "a/b/c"
+
+    def test_match_ops_counts_index_nodes(self):
+        broker = MQTTBroker()
+        broker.subscribe("c", "a/b", lambda m: None)
+        before = broker.match_ops
+        broker.publish("a/b", "1;1", timestamp_s=1.0)
+        assert broker.match_ops > before
+
+    @given(pattern_levels=st.lists(
+        st.sampled_from(["a", "b", "node", "+"]), min_size=1, max_size=4),
+        topic_levels=st.lists(
+        st.sampled_from(["a", "b", "node", "x1"]), min_size=1, max_size=4),
+        trailing_hash=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_trie_agrees_with_topic_matches(self, pattern_levels,
+                                            topic_levels, trailing_hash):
+        """Property: the trie index and the reference matcher agree."""
+        pattern = "/".join(pattern_levels + (["#"] if trailing_hash else []))
+        topic = "/".join(topic_levels)
+        broker = MQTTBroker()
+        received = []
+        broker.subscribe("c", pattern, received.append)
+        delivered = broker.publish(topic, "1;1", timestamp_s=1.0,
+                                   retain=False)
+        assert delivered == (1 if topic_matches(pattern, topic) else 0)
+        assert len(received) == delivered
