@@ -9,6 +9,7 @@ Commands
 ``power``       print the Table VI power model and boot decomposition
 ``lint``        run simlint (determinism / engine / calibration / units)
 ``trace``       run a traced experiment, export Chrome trace_event JSON
+``chaos``       run a fault-injection campaign, verify recovery invariants
 """
 
 from __future__ import annotations
@@ -128,6 +129,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos.check import run_checks
+    from repro.chaos.scenarios import run_scenario
+
+    result = run_scenario(args.scenario, seed=args.seed)
+    for line in result.log.lines():
+        print(line)
+    print(f"{result.name}: seed={result.seed} "
+          f"faults={len(result.log.injections())} "
+          f"restores={len(result.log.restores())}")
+    if not args.check:
+        return 0
+    problems = run_checks(result)
+    if problems:
+        for problem in problems:
+            print(f"INVARIANT VIOLATED: {problem}")
+        return 1
+    print("recovery invariants: OK "
+          "(every fault has a matching recovery span, ledger clean)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch."""
     parser = argparse.ArgumentParser(
@@ -170,6 +193,20 @@ def main(argv: list[str] | None = None) -> int:
                        help="validate the export against the trace_event "
                             "schema (exit 1 on problems)")
     trace.set_defaults(func=_cmd_trace)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="run a seeded fault-injection campaign")
+    chaos.add_argument("scenario",
+                       choices=("examon-outage", "link-flap",
+                                "sensor-dropout", "service-outage",
+                                "node-trip"),
+                       help="which chaos campaign to run")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="campaign seed (same seed → identical log)")
+    chaos.add_argument("--check", action="store_true",
+                       help="verify the recovery invariants "
+                            "(exit 1 on violations)")
+    chaos.set_defaults(func=_cmd_chaos)
 
     for name, func, help_text in [
         ("quickstart", _cmd_quickstart, "boot the cluster, run HPL"),

@@ -1,0 +1,113 @@
+"""Recovery-invariant checker: did every injected fault heal?
+
+The contract a campaign must satisfy (``repro chaos <scenario> --check``
+exits non-zero otherwise):
+
+1. **Every fault recovered** — each finished ``chaos.fault`` span has at
+   least one finished ``chaos.recovery`` span whose ``kind``/``target``
+   attributes match and whose end does not precede the fault's start.
+2. **No fault still open** — the campaign ended with no injected fault
+   lacking its restore (an unfinished ``chaos.fault`` span never exists
+   by construction; an inject without a restore leaves no span at all,
+   so the log is cross-checked too).
+3. **Failure ledger clean** — the engine drained with zero unconsumed
+   failures: graceful degradation means every raised error was caught by
+   the component that owed a recovery, not leaked into the kernel.
+4. **Backfill coverage** (scenario-specific) — when the campaign
+   declares a monitored series, the TSDB must show samples covering each
+   outage window with no gap wider than the sampling period (plus one
+   period of slack for phase): the buffered-and-backfilled samples, not
+   a hole.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = ["verify_recovery", "backfill_coverage", "run_checks"]
+
+
+def _spans(tracer: Any, category: str) -> List[Any]:
+    return [s for s in tracer.spans if s.category == category]
+
+
+def verify_recovery(tracer: Any, engine: Any = None,
+                    log: Any = None) -> List[str]:
+    """Invariants 1-3 over one campaign's trace; returns problem strings."""
+    problems: List[str] = []
+    faults = _spans(tracer, "chaos.fault")
+    recoveries = _spans(tracer, "chaos.recovery")
+    by_key: Dict[Tuple[str, str], List[Any]] = {}
+    for span in recoveries:
+        key = (span.attributes.get("kind"), span.attributes.get("target"))
+        by_key.setdefault(key, []).append(span)
+
+    for fault in faults:
+        kind = fault.attributes.get("kind")
+        target = fault.attributes.get("target")
+        candidates = [r for r in by_key.get((kind, target), [])
+                      if r.finished and r.end_s >= fault.start_s]
+        if not candidates:
+            problems.append(
+                f"fault {kind}:{target} at t={fault.start_s:.3f} has no "
+                f"matching recovery span")
+
+    if log is not None:
+        injected = {}
+        for event in log.events:
+            key = (event.kind, event.target)
+            if event.action == "inject":
+                injected[key] = event
+            else:
+                injected.pop(key, None)
+        for (kind, target), event in sorted(injected.items()):
+            problems.append(
+                f"fault {kind}:{target} injected at t={event.time_s:.3f} "
+                f"was never restored")
+
+    if engine is not None and engine.unconsumed_failures:
+        for record in engine.unconsumed_failures:
+            problems.append(f"unconsumed failure: {record.describe()}")
+    return problems
+
+
+def backfill_coverage(db: Any, topics: Iterable[str],
+                      windows: Iterable[Tuple[float, float]],
+                      period_s: float, slack_s: float = 0.0) -> List[str]:
+    """Invariant 4: each series covers each window at its sampling cadence.
+
+    A gap wider than ``period_s + slack_s`` (default slack: one period,
+    covering sampling phase against the window edges) inside an outage
+    window means the backfill lost samples.
+    """
+    slack_s = slack_s if slack_s > 0 else period_s
+    max_gap = period_s + slack_s
+    problems: List[str] = []
+    for topic in topics:
+        for start_s, end_s in windows:
+            times = [t for t, _value in db.query(topic, start_s, end_s)]
+            # Treat the window edges as virtual samples: the gap from the
+            # edge to the first/last real sample is bounded like any other.
+            edges = [start_s, *times, end_s]
+            worst = max(b - a for a, b in zip(edges, edges[1:]))
+            if worst > max_gap + 1e-9:
+                problems.append(
+                    f"{topic}: {worst:.3f}s gap inside outage window "
+                    f"[{start_s:.3f}, {end_s:.3f}] "
+                    f"(limit {max_gap:.3f}s) — backfill lost samples")
+    return problems
+
+
+def run_checks(result: Any) -> List[str]:
+    """All invariants over one :class:`~repro.chaos.scenarios.ChaosRunResult`.
+
+    Scenario extras drive the optional checks: ``extras["backfill"]`` is a
+    dict of :func:`backfill_coverage` keyword arguments, and
+    ``extras["problems"]`` carries scenario-specific findings verbatim.
+    """
+    problems = verify_recovery(result.tracer, result.engine, result.log)
+    backfill = result.extras.get("backfill")
+    if backfill is not None:
+        problems.extend(backfill_coverage(**backfill))
+    problems.extend(result.extras.get("problems", []))
+    return problems

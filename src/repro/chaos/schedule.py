@@ -1,0 +1,69 @@
+"""Seeded campaign schedules: when faults strike and for how long.
+
+All randomness in a chaos campaign flows through one
+:class:`ChaosSchedule`, whose only entropy source is a
+:class:`random.Random` seeded at construction — never the interpreter's
+global RNG, never the wall clock (simlint DET101/DET102/DET105).  The
+same seed therefore yields the same fault windows, the same targets and,
+downstream, a byte-identical :class:`~repro.chaos.faults.ChaosLog`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple, TypeVar
+
+__all__ = ["ChaosSchedule"]
+
+T = TypeVar("T")
+
+#: One fault window in simulated seconds.
+Window = Tuple[float, float]
+
+
+class ChaosSchedule:
+    """Deterministic draw source for one chaos campaign."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def uniform(self, lo: float, hi: float) -> float:
+        """One uniform draw in ``[lo, hi]``."""
+        return self._rng.uniform(lo, hi)
+
+    def choice(self, options: Sequence[T]) -> T:
+        """One element drawn from a non-empty sequence."""
+        if not options:
+            raise ValueError("cannot choose from an empty sequence")
+        return options[self._rng.randrange(len(options))]
+
+    def windows(self, n: int, start_s: float, end_s: float,
+                min_len_s: float, max_len_s: float) -> List[Window]:
+        """``n`` non-overlapping fault windows inside ``[start_s, end_s]``.
+
+        The horizon is cut into ``n`` equal slots and one window drawn
+        inside each: start uniform in the slot's feasible range, length
+        uniform in ``[min_len_s, max_len_s]`` (clipped to the slot).
+        Equal slots keep windows disjoint by construction — no rejection
+        sampling, so the draw count (hence the RNG stream) is a pure
+        function of the arguments.
+        """
+        if n < 1:
+            raise ValueError("need at least one window")
+        if end_s <= start_s:
+            raise ValueError(f"empty horizon [{start_s}, {end_s}]")
+        if not 0 < min_len_s <= max_len_s:
+            raise ValueError("window lengths must satisfy 0 < min <= max")
+        slot_s = (end_s - start_s) / n
+        if min_len_s > slot_s:
+            raise ValueError(
+                f"minimum window {min_len_s}s does not fit a "
+                f"{slot_s:.3f}s slot ({n} windows over {end_s - start_s}s)")
+        out: List[Window] = []
+        for i in range(n):
+            slot_start = start_s + i * slot_s
+            length = self.uniform(min_len_s, min(max_len_s, slot_s))
+            w_start = self.uniform(slot_start, slot_start + slot_s - length)
+            out.append((w_start, w_start + length))
+        return out

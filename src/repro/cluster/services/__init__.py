@@ -6,9 +6,12 @@ the SLURM job scheduler."  SLURM lives in :mod:`repro.slurm`; this package
 models the other two plus the environment-modules user environment.
 """
 
+from repro.cluster.services.base import (ServiceAvailability,
+                                         ServiceUnavailableError)
 from repro.cluster.services.ldap import LDAPServer, LDAPUser
 from repro.cluster.services.modules import EnvironmentModules, Module
 from repro.cluster.services.nfs import NFSExport, NFSServer
 
 __all__ = ["EnvironmentModules", "LDAPServer", "LDAPUser", "Module",
-           "NFSExport", "NFSServer"]
+           "NFSExport", "NFSServer", "ServiceAvailability",
+           "ServiceUnavailableError"]

@@ -12,6 +12,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.cluster.services.base import ServiceAvailability
+
 __all__ = ["LDAPUser", "LDAPGroup", "LDAPServer", "AuthenticationError"]
 
 
@@ -48,10 +50,18 @@ class LDAPGroup:
     members: List[str] = field(default_factory=list)
 
 
-class LDAPServer:
-    """The cluster directory."""
+class LDAPServer(ServiceAvailability):
+    """The cluster directory.
+
+    Binds and NSS lookups are gated on availability (``ldap_bind: Can't
+    contact LDAP server``); provisioning is an offline/admin path and
+    stays open — real deployments edit LDIFs while slapd is down.
+    """
+
+    SERVICE_NAME = "ldap"
 
     def __init__(self, base_dn: str = "dc=montecimone,dc=cineca,dc=it") -> None:
+        super().__init__()
         self.base_dn = base_dn
         self._users: Dict[str, LDAPUser] = {}
         self._groups: Dict[str, LDAPGroup] = {}
@@ -89,6 +99,7 @@ class LDAPServer:
     # -- lookups (NSS) ----------------------------------------------------------
     def get_user(self, uid: str) -> LDAPUser:
         """getpwnam-style lookup."""
+        self._require_available("getpwnam")
         if uid not in self._users:
             raise KeyError(f"no such user {uid!r}")
         return self._users[uid]
@@ -106,13 +117,17 @@ class LDAPServer:
 
     def search(self, uid_prefix: str = "") -> List[LDAPUser]:
         """Prefix search over uids (the ldapsearch everyone actually runs)."""
+        self._require_available("search")
         return sorted((u for u in self._users.values()
                        if u.uid.startswith(uid_prefix)),
                       key=lambda u: u.uid)
 
     # -- bind ----------------------------------------------------------------
     def bind(self, uid: str, password: str) -> LDAPUser:
-        """Authenticate; raises :class:`AuthenticationError` on failure."""
+        """Authenticate; raises :class:`AuthenticationError` on failure
+        and :class:`~repro.cluster.services.base.ServiceUnavailableError`
+        while the directory is down."""
+        self._require_available("bind")
         if uid not in self._users:
             raise AuthenticationError(f"no such user {uid!r}")
         salt, stored = self._secrets[uid]

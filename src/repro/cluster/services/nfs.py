@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.cluster.services.base import ServiceAvailability
+
 __all__ = ["NFSExport", "NFSServer", "NFSMount"]
 
 
@@ -32,10 +34,19 @@ class NFSExport:
     options: str = "rw,sync,no_root_squash"
 
 
-class NFSServer:
-    """The master node's NFS daemon: exports + the backing object store."""
+class NFSServer(ServiceAvailability):
+    """The master node's NFS daemon: exports + the backing object store.
+
+    Data-path RPCs (read/write/mkdir/listdir) are gated on availability;
+    metadata already cached client-side (``exists``, the export table)
+    keeps answering during an outage, which is how real NFS clients limp
+    along until the server returns.
+    """
+
+    SERVICE_NAME = "nfs"
 
     def __init__(self, hostname: str = "mc-master") -> None:
+        super().__init__()
         self.hostname = hostname
         self.exports: Dict[str, NFSExport] = {}
         self._files: Dict[str, bytes] = {}
@@ -58,6 +69,7 @@ class NFSServer:
     # -- object store ------------------------------------------------------------
     def mkdir(self, path: str, parents: bool = False) -> None:
         """Create a directory (like ``mkdir -p`` when ``parents``)."""
+        self._require_available("mkdir")
         path = _normalise(path)
         parent = path.rsplit("/", 1)[0] or "/"
         if parent not in self._dirs:
@@ -68,6 +80,7 @@ class NFSServer:
 
     def write(self, path: str, data: bytes) -> None:
         """Write a file; the parent directory must exist."""
+        self._require_available("write")
         path = _normalise(path)
         parent = path.rsplit("/", 1)[0] or "/"
         if parent not in self._dirs:
@@ -77,6 +90,7 @@ class NFSServer:
 
     def read(self, path: str) -> bytes:
         """Read a file's content."""
+        self._require_available("read")
         path = _normalise(path)
         if path not in self._files:
             raise FileNotFoundError(path)
@@ -91,6 +105,7 @@ class NFSServer:
 
     def listdir(self, path: str) -> List[str]:
         """Immediate children of a directory."""
+        self._require_available("listdir")
         path = _normalise(path)
         if path not in self._dirs:
             raise FileNotFoundError(path)

@@ -30,7 +30,18 @@ from typing import Callable, Dict, List, Optional
 
 from repro.examon.topics import topic_matches
 
-__all__ = ["MQTTMessage", "MQTTBroker", "Subscription"]
+__all__ = ["MQTTMessage", "MQTTBroker", "Subscription",
+           "BrokerUnavailableError"]
+
+
+class BrokerUnavailableError(ConnectionError):
+    """A publish hit a broker that is down (the client's ``ECONNREFUSED``).
+
+    Raised instead of silently dropping the message: QoS-0 loses messages
+    in flight, but a *connect* failure is visible to the client, and the
+    sampling plugins use it to switch into their buffer-and-reconnect
+    path (see :class:`repro.examon.plugins.base.SamplingPlugin`).
+    """
 
 
 @dataclass(frozen=True)
@@ -92,6 +103,14 @@ class MQTTBroker:
         #: Subscription-index nodes visited while matching (the
         #: deterministic "match time" the metrics registry exposes).
         self.match_ops = 0
+        #: Availability (chaos injection): a down broker refuses publishes.
+        self.available = True
+        #: Slow-broker fault: extra per-publish latency the *publishing*
+        #: daemon must absorb (modelled client-side, since the broker
+        #: object itself has no clock).  ``0`` means healthy.
+        self.publish_delay_s = 0.0
+        #: Publishes refused while the broker was down.
+        self.publish_rejects = 0
 
     @property
     def subscription_count(self) -> int:
@@ -202,6 +221,10 @@ class MQTTBroker:
         """
         if "+" in topic or "#" in topic:
             raise ValueError(f"cannot publish to a wildcard topic: {topic!r}")
+        if not self.available:
+            self.publish_rejects += 1
+            raise BrokerUnavailableError(
+                f"broker {self.hostname!r} is down; connect refused")
         message = MQTTMessage(topic=topic, payload=payload,
                               timestamp_s=timestamp_s, retained=False)
         self.messages_published += 1
@@ -218,3 +241,24 @@ class MQTTBroker:
     def retained_topics(self) -> List[str]:
         """Topics with a retained last sample, sorted."""
         return sorted(self._retained)
+
+    # -- fault injection -----------------------------------------------------
+    def go_offline(self) -> None:
+        """Take the broker down: publishes raise until :meth:`restore`.
+
+        Subscriptions and the retained store survive the outage (mosquitto
+        restarted with persistence behaves the same way); only the live
+        publish path is refused.
+        """
+        self.available = False
+
+    def restore(self) -> None:
+        """Bring the broker back up and clear any slow-mode penalty."""
+        self.available = True
+        self.publish_delay_s = 0.0
+
+    def set_slow(self, delay_s: float) -> None:
+        """Degrade the broker: every publish costs ``delay_s`` extra."""
+        if delay_s < 0:
+            raise ValueError("slow-broker delay cannot be negative")
+        self.publish_delay_s = float(delay_s)

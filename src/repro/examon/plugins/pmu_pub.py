@@ -28,9 +28,12 @@ class PmuPubPlugin(SamplingPlugin):
 
     def __init__(self, node: ComputeNode, broker: MQTTBroker,
                  sample_hz: float = DEFAULT_HZ,
-                 schema: Optional[TopicSchema] = None) -> None:
+                 schema: Optional[TopicSchema] = None,
+                 **hardening: object) -> None:
+        # ``hardening`` forwards the outage knobs (buffer_limit,
+        # reconnect_backoff) without restating the base signature.
         super().__init__(hostname=node.hostname, broker=broker,
-                         sample_hz=sample_hz, schema=schema)
+                         sample_hz=sample_hz, schema=schema, **hardening)
         self.node = node
 
     def sample(self, now_s: float) -> Dict[str, float]:

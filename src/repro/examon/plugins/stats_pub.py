@@ -15,6 +15,7 @@ from repro.cluster.node import ComputeNode
 from repro.examon.broker import MQTTBroker
 from repro.examon.plugins.base import SamplingPlugin
 from repro.examon.topics import TopicSchema
+from repro.hardware.sensors import SensorReadError
 
 __all__ = ["StatsPubPlugin", "TABLE_III_METRICS"]
 
@@ -44,9 +45,12 @@ class StatsPubPlugin(SamplingPlugin):
 
     def __init__(self, node: ComputeNode, broker: MQTTBroker,
                  sample_hz: float = DEFAULT_HZ,
-                 schema: Optional[TopicSchema] = None) -> None:
+                 schema: Optional[TopicSchema] = None,
+                 **hardening: object) -> None:
+        # ``hardening`` forwards the outage knobs (buffer_limit,
+        # reconnect_backoff) without restating the base signature.
         super().__init__(hostname=node.hostname, broker=broker,
-                         sample_hz=sample_hz, schema=schema)
+                         sample_hz=sample_hz, schema=schema, **hardening)
         self.node = node
 
     def sample(self, now_s: float) -> Dict[str, float]:
@@ -93,9 +97,18 @@ class StatsPubPlugin(SamplingPlugin):
         values["net_total.recv"] = float(board.ethernet.bytes_received)
         values["net_total.send"] = float(board.ethernet.bytes_sent)
 
-        # Table IV sensors through the hwmon sysfs paths.
+        # Table IV sensors through the hwmon sysfs paths.  A sensor that
+        # dropped off the bus (SensorReadError, the kernel's EIO) is
+        # skipped for this instant rather than killing the daemon; the
+        # first successful read afterwards closes the recovery window.
         for sensor in ("mb_temp", "cpu_temp", "nvme_temp"):
-            raw = board.hwmon.read(board.hwmon.path_of(sensor))
+            target = f"{self.hostname}/{sensor}"
+            try:
+                raw = board.hwmon.read(board.hwmon.path_of(sensor))
+            except SensorReadError:
+                self.note_target_fault("sensor-dropout", target, now_s)
+                continue
+            self.note_target_recovered("sensor-dropout", target, now_s)
             values[f"temperature.{sensor}"] = int(raw.strip()) / 1000.0
 
         return {self.schema.stats_topic(self.hostname, metric): value

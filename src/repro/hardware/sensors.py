@@ -18,9 +18,19 @@ what :meth:`HwmonTree.read` returns.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
-__all__ = ["ThermalSensor", "HwmonTree", "HWMON_PATHS"]
+__all__ = ["ThermalSensor", "HwmonTree", "HWMON_PATHS", "SensorReadError"]
+
+
+class SensorReadError(OSError):
+    """A hwmon read failed (the kernel's ``EIO`` on a wedged sensor bus).
+
+    Real RISC-V testbeds see exactly this: I2C sensors drop off the bus
+    under thermal stress and every read of the sysfs file errors until the
+    device recovers.  Consumers (stats_pub) must treat it as a per-sensor
+    outage, not a fatal daemon error.
+    """
 
 #: The Table IV sensor → sysfs-path mapping.
 HWMON_PATHS = {
@@ -41,10 +51,21 @@ class ThermalSensor:
     name: str
     temperature_c: float = 25.0
     trip_celsius: float = 107.0
+    #: Fault-injection state: ``None`` (healthy), ``"dropout"`` (reads
+    #: raise :class:`SensorReadError`) or ``"stuck"`` (the reading froze
+    #: at the value it had when the fault landed; updates are ignored).
+    failure_mode: Optional[str] = None
 
     def set(self, temperature_c: float) -> None:
-        """Update the sensed temperature."""
+        """Update the sensed temperature (ignored while stuck-at)."""
+        if self.failure_mode == "stuck":
+            return
         self.temperature_c = float(temperature_c)
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the sensor currently has no injected fault."""
+        return self.failure_mode is None
 
     @property
     def tripped(self) -> bool:
@@ -52,8 +73,23 @@ class ThermalSensor:
         return self.temperature_c >= self.trip_celsius
 
     def millidegrees(self) -> int:
-        """hwmon integer reading (m°C)."""
+        """hwmon integer reading (m°C); raises while dropped out."""
+        if self.failure_mode == "dropout":
+            raise SensorReadError(f"sensor {self.name!r} dropped off the bus")
         return int(round(self.temperature_c * 1000.0))
+
+    # -- fault injection ----------------------------------------------------
+    def fail_dropout(self) -> None:
+        """Inject a dropout: every read errors until :meth:`repair`."""
+        self.failure_mode = "dropout"
+
+    def fail_stuck(self) -> None:
+        """Inject a stuck-at fault: the reading freezes at its current value."""
+        self.failure_mode = "stuck"
+
+    def repair(self) -> None:
+        """Clear any injected fault; the next write updates normally again."""
+        self.failure_mode = None
 
 
 class HwmonTree:

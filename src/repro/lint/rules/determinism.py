@@ -130,6 +130,46 @@ class UnseededGeneratorRule(Rule):
 
 
 @register
+class UnseededRandomInstanceRule(Rule):
+    """DET105: ``random.Random()`` with no seed pulls OS entropy.
+
+    DET102 exempts ``random.Random`` construction because a *seeded*
+    instance is the sanctioned pattern (the chaos schedules and backoff
+    jitter depend on it); an unseeded instance quietly re-introduces the
+    entropy the exemption was meant to keep out.  Seeding from a
+    variable is fine — only a literally absent or ``None`` seed flags.
+    """
+
+    id = "DET105"
+    family = "DET"
+    severity = Severity.ERROR
+    summary = "random.Random() constructed without a seed"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name not in ("random.Random", "Random"):
+                continue
+            unseeded = not node.args and not node.keywords
+            if node.args and isinstance(node.args[0], ast.Constant) \
+                    and node.args[0].value is None:
+                unseeded = True
+            if node.keywords and not node.args:
+                seed_kw = [k for k in node.keywords if k.arg in ("x", "seed")]
+                unseeded = bool(seed_kw) and all(
+                    isinstance(k.value, ast.Constant) and k.value.value is None
+                    for k in seed_kw)
+            if unseeded:
+                yield self.finding(
+                    ctx, node,
+                    "random.Random() without a seed draws OS entropy; pass an "
+                    "explicit seed (random.Random(seed)) so fault schedules "
+                    "and jitter streams are replayable")
+
+
+@register
 class SaltedHashRule(Rule):
     """DET104: ``hash()`` of a str/bytes-bearing value differs per process.
 

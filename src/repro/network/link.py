@@ -1,4 +1,4 @@
-"""Point-to-point link model with serialisation and contention.
+"""Point-to-point link model with serialisation, contention and faults.
 
 A :class:`Link` is the basic pipe of the interconnect model: messages take
 ``latency + size/bandwidth`` and the link tracks cumulative traffic for the
@@ -6,13 +6,27 @@ monitoring plugins (stats_pub's ``net_total.recv``/``net_total.send``).
 Contention is modelled by an efficiency factor under concurrent flows
 rather than per-packet queueing — adequate because the experiments the
 model supports (HPL collectives) synchronise at phase boundaries.
+
+Fault injection (the chaos harness): a link can be taken *down* — any
+transfer raises :class:`LinkDownError`, the model of a TCP connect/send
+timing out on a flapped port — or *degraded*, dividing its payload
+bandwidth by a factor (duplex renegotiated to 100 Mb/s, a half-broken
+cable) while staying up.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Link"]
+__all__ = ["Link", "LinkDownError"]
+
+
+class LinkDownError(ConnectionError):
+    """A transfer was attempted over a link that is administratively down."""
+
+    def __init__(self, link_name: str) -> None:
+        super().__init__(f"link {link_name!r} is down")
+        self.link_name = link_name
 
 
 @dataclass
@@ -29,26 +43,50 @@ class Link:
     latency_s:
         One-way small-message latency, including the software stack
         (~50 µs for MPI-over-TCP-over-GbE on these cores).
+    up:
+        Availability; a down link refuses transfers (:class:`LinkDownError`).
+    degraded_factor:
+        Bandwidth divisor while degraded (``1.0`` = healthy); must be
+        ``>= 1`` — degradation never *adds* bandwidth.
     """
 
     name: str
     bandwidth_bytes_per_s: float = 117e6
     latency_s: float = 50e-6
     bytes_carried: int = 0
+    up: bool = True
+    degraded_factor: float = 1.0
+    #: Transfers refused while down (flap-visibility counter).
+    transfers_refused: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if self.bandwidth_bytes_per_s <= 0:
             raise ValueError("bandwidth must be positive")
         if self.latency_s < 0:
             raise ValueError("latency cannot be negative")
+        if self.degraded_factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+
+    @property
+    def effective_bandwidth_bytes_per_s(self) -> float:
+        """Payload bandwidth after any injected degradation."""
+        return self.bandwidth_bytes_per_s / self.degraded_factor
 
     def transfer_time(self, n_bytes: int, concurrent_flows: int = 1) -> float:
-        """Time to move ``n_bytes`` with ``concurrent_flows`` sharing the pipe."""
+        """Time to move ``n_bytes`` with ``concurrent_flows`` sharing the pipe.
+
+        Raises a clear :class:`ValueError` on a non-positive flow count or
+        a negative size (a zero flow count would otherwise divide by zero)
+        and :class:`LinkDownError` while the link is down.
+        """
         if n_bytes < 0:
             raise ValueError("negative message size")
         if concurrent_flows < 1:
             raise ValueError("need at least one flow")
-        effective_bw = self.bandwidth_bytes_per_s / concurrent_flows
+        if not self.up:
+            self.transfers_refused += 1
+            raise LinkDownError(self.name)
+        effective_bw = self.effective_bandwidth_bytes_per_s / concurrent_flows
         return self.latency_s + n_bytes / effective_bw
 
     def account(self, n_bytes: int) -> None:
@@ -56,3 +94,22 @@ class Link:
         if n_bytes < 0:
             raise ValueError("negative byte count")
         self.bytes_carried += n_bytes
+
+    # -- fault injection -----------------------------------------------------
+    def set_down(self) -> None:
+        """Flap the link down: transfers raise until :meth:`set_up`."""
+        self.up = False
+
+    def set_up(self) -> None:
+        """Bring the link back up (degradation, if any, persists)."""
+        self.up = True
+
+    def set_degraded(self, factor: float) -> None:
+        """Degrade the link's bandwidth by ``factor`` (``>= 1``)."""
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        self.degraded_factor = float(factor)
+
+    def clear_degraded(self) -> None:
+        """Restore full bandwidth."""
+        self.degraded_factor = 1.0

@@ -21,14 +21,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, Generator, Optional
 
+from repro.chaos.backoff import ExponentialBackoff
+from repro.network.link import LinkDownError
 from repro.network.topology import ClusterTopology
 
-__all__ = ["MPICostModel"]
+__all__ = ["MPICostModel", "MPIRetryPolicy", "MPIRetryError",
+           "run_collective_with_retry"]
 
 #: Observer signature: ``(kind, n_bytes, n_ranks, cost_s)`` per collective.
 CollectiveObserver = Callable[[str, int, int, float], None]
+
+
+class MPIRetryError(RuntimeError):
+    """A collective exhausted its retry budget over a down link."""
 
 
 @dataclass
@@ -66,7 +73,12 @@ class MPICostModel:
 
     def _link_params(self) -> tuple[float, float]:
         links = self.topology.links.values()
-        bandwidth = min(l.bandwidth_bytes_per_s for l in links)
+        for link in links:
+            if not link.up:
+                raise LinkDownError(link.name)
+        # Degraded links stay usable but slow the whole collective down —
+        # the star topology routes every message over the worst pipe.
+        bandwidth = min(l.effective_bandwidth_bytes_per_s for l in links)
         latency = (2 * max(l.latency_s for l in links)
                    + self.topology.switch.port_to_port_latency_s
                    + self.software_overhead_s)
@@ -114,3 +126,75 @@ class MPICostModel:
         return self._observed(
             "scatter", n_bytes_total, n_ranks,
             (n_ranks - 1) * (latency + per_rank / bandwidth))
+
+
+@dataclass
+class MPIRetryPolicy:
+    """Retry-with-timeout semantics for collectives over a flaky network.
+
+    Each failed attempt costs the MPI-level ``timeout_s`` (the send had to
+    time out before the stack noticed) plus a backoff delay before the
+    next try — the behaviour of TCP-transport MPI when a GbE port flaps.
+    """
+
+    timeout_s: float = 1.0
+    max_retries: int = 8
+    backoff: ExponentialBackoff = field(
+        default_factory=lambda: ExponentialBackoff(base_s=0.5, factor=2.0,
+                                                   max_s=16.0))
+
+    def __post_init__(self) -> None:
+        if self.timeout_s < 0:
+            raise ValueError("retry timeout cannot be negative")
+        if self.max_retries < 0:
+            raise ValueError("retry budget cannot be negative")
+
+
+def run_collective_with_retry(engine: Any, model: MPICostModel, kind: str,
+                              n_bytes: int, n_ranks: int,
+                              policy: Optional[MPIRetryPolicy] = None
+                              ) -> Generator[Any, Any, Dict[str, float]]:
+    """A collective as a simulation process, retrying over flapping links.
+
+    Attempts ``model.<kind>(n_bytes, n_ranks)``; when the topology has a
+    down link the attempt costs ``policy.timeout_s`` plus a backoff delay
+    (both in simulated time), then retries, up to ``policy.max_retries``
+    times.  On success the modelled cost is waited out and, if the run is
+    traced and at least one retry happened, a completed
+    ``chaos.recovery`` span covering the retry window is recorded —
+    fault-injection campaigns assert on it.
+
+    Returns ``{"cost_s", "retries", "waited_s"}``; raises
+    :class:`MPIRetryError` when the budget is exhausted.
+    """
+    if policy is None:
+        policy = MPIRetryPolicy()
+    collective = getattr(model, kind)
+    retries = 0
+    waited_s = 0.0
+    first_failure_s: Optional[float] = None
+    failed_link = ""
+    while True:
+        try:
+            cost_s = collective(n_bytes, n_ranks)
+        except LinkDownError as exc:
+            if retries >= policy.max_retries:
+                raise MPIRetryError(
+                    f"{kind} gave up after {retries} retries: {exc}") from exc
+            if first_failure_s is None:
+                first_failure_s = engine.now
+            failed_link = exc.link_name
+            delay_s = policy.timeout_s + policy.backoff.delay(retries)
+            retries += 1
+            waited_s += delay_s
+            yield engine.timeout(delay_s)
+            continue
+        yield engine.timeout(cost_s)
+        if first_failure_s is not None and engine.tracer is not None:
+            engine.tracer.record(
+                f"recovery:link-down:{failed_link}", first_failure_s,
+                engine.now, category="chaos.recovery", kind="link-down",
+                target=failed_link, component=f"mpi.{kind}",
+                retries=retries, waited_s=waited_s)
+        return {"cost_s": cost_s, "retries": float(retries),
+                "waited_s": waited_s}

@@ -69,8 +69,9 @@ class TestPmuPub:
         plugin = PmuPubPlugin(booted_node(), broker)
         engine.spawn(plugin.run(engine))
         engine.run(until=5.0)
-        # 2 Hz for 5 s → 10 sampling instants.
-        assert plugin.samples_taken == 10
+        # 2 Hz for 5 s, first sample at t=0 → 11 sampling instants
+        # (t = 0.0, 0.5, ..., 5.0); the boot window is monitored too.
+        assert plugin.samples_taken == 11
         plugin.stop()
 
 

@@ -88,6 +88,34 @@ class TestDeterminismRules:
         """
         assert "DET103" in ids(source)
 
+    def test_unseeded_random_instance_flagged(self):
+        assert "DET105" in ids("""
+            import random
+            def make_rng():
+                return random.Random()
+        """)
+
+    def test_none_seeded_random_instance_flagged(self):
+        assert "DET105" in ids("""
+            import random
+            def make_rng():
+                return random.Random(None)
+        """)
+
+    def test_seeded_random_instance_clean(self):
+        assert ids("""
+            import random
+            def make_rng(seed):
+                return random.Random(seed)
+        """) == []
+
+    def test_bare_random_import_flagged(self):
+        assert "DET105" in ids("""
+            from random import Random
+            def make_rng():
+                return Random()
+        """)
+
     def test_hash_for_seed_flagged(self):
         # The exact bug simlint was built to catch (power/traces.py pre-fix).
         assert "DET104" in ids("""
