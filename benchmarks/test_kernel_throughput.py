@@ -1,0 +1,126 @@
+"""Kernel-throughput acceptance gates (``repro bench``).
+
+These are the perf-PR acceptance criteria as executable tests: the tiered
+kernel (zero-delay FIFO lane + calendar wheel) must beat the frozen seed
+kernel by the gate factors on the canned workloads, the bench report must
+validate against its schema, and the committed trajectory file
+``BENCH_kernel.json`` must be consistent with what the harness measures
+today (the CI regression gate runs the same comparison).
+
+Speedup gates compare *ratios* of interleaved, GC-normalised best-of-N
+timings (see :func:`repro.perf.bench._measure_pair`), so they are
+machine-independent; a failed gate is re-measured once before the test
+fails, which filters the rare run that lands on a host-noise spike
+without weakening the gate itself.
+
+Correctness (identical event ordering between the two kernels) is proved
+separately in ``tests/test_events_determinism_equiv.py`` — these tests
+only assert speed and report shape.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import (BENCH_SCHEMA, GATED_WORKLOADS, check_regression,
+                              load_trajectory, run_bench, trajectory_entry,
+                              validate_report)
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One full-size bench run shared by every test in this module."""
+    return run_bench(quick=False, repeats=3, label="pytest")
+
+
+def _speedup(workload: str, first: dict) -> float:
+    """The measured speedup, re-measuring once if the first run missed.
+
+    Retrying only the failing workload keeps the slow path rare: it runs
+    solely when a host-noise spike pushed a single ratio under its gate.
+    """
+    measured = first["workloads"][workload]["speedup"]
+    if measured >= GATED_WORKLOADS[workload]:
+        return measured
+    retry = run_bench(quick=False, repeats=3, label="pytest-retry")
+    return max(measured, retry["workloads"][workload]["speedup"])
+
+
+def test_periodic_speedup_gate(report):
+    speedup = _speedup("periodic", report)
+    assert speedup >= GATED_WORKLOADS["periodic"], (
+        f"periodic-sampling workload: {speedup:.2f}x vs seed kernel, "
+        f"gate is {GATED_WORKLOADS['periodic']}x")
+
+
+def test_chaos_speedup_gate(report):
+    speedup = _speedup("chaos", report)
+    assert speedup >= GATED_WORKLOADS["chaos"], (
+        f"mixed chaos workload: {speedup:.2f}x vs seed kernel, "
+        f"gate is {GATED_WORKLOADS['chaos']}x")
+
+
+def test_report_is_schema_valid(report):
+    assert validate_report(report) == []
+    assert report["schema"] == BENCH_SCHEMA
+
+
+def test_report_counters_are_sane(report):
+    periodic = report["workloads"]["periodic"]
+    chaos = report["workloads"]["chaos"]
+    # Both tiers must actually be exercised — a workload that never hits
+    # the wheel (or never hits the FIFO lane) isn't measuring the merge.
+    assert periodic["fifo_hits"] > 0 and periodic["wheel_hits"] > 0
+    assert chaos["fifo_hits"] > 0 and chaos["wheel_hits"] > 0
+    # Counter conservation: every processed event came through a tier.
+    assert periodic["fifo_hits"] + periodic["wheel_hits"] == periodic["events"]
+    assert chaos["fifo_hits"] + chaos["wheel_hits"] == chaos["events"]
+
+
+def test_monitoring_pipeline_fast_paths(report):
+    monitoring = report["workloads"]["monitoring"]
+    # Steady-state sampling republishes the same topics, so the broker's
+    # match cache should serve nearly every publish, and in-order arrival
+    # should keep the TSDB on the append-only path exclusively.
+    assert monitoring["match_cache_hit_rate"] > 0.95
+    assert monitoring["fast_append_fraction"] == 1.0
+    assert monitoring["publishes_per_sec"] > 0
+    assert monitoring["inserts_per_sec"] > 0
+
+
+def test_trajectory_entry_shape(report):
+    entry = trajectory_entry(report)
+    assert entry["schema"] == BENCH_SCHEMA
+    assert set(entry["speedup"]) == {"periodic", "chaos", "monitoring"}
+    # Entries must be JSON-serialisable as committed.
+    json.loads(json.dumps(entry))
+
+
+def test_committed_trajectory_is_valid():
+    trajectory = load_trajectory(str(TRAJECTORY_PATH))
+    assert trajectory, "BENCH_kernel.json must hold at least the baseline"
+    for point in trajectory:
+        assert point["schema"] == BENCH_SCHEMA
+        for name in GATED_WORKLOADS:
+            assert isinstance(point["speedup"][name], (int, float))
+
+
+def test_no_regression_vs_committed_baseline(report):
+    trajectory = load_trajectory(str(TRAJECTORY_PATH))
+    problems = check_regression(report, trajectory, tolerance=0.2)
+    if problems:
+        retry = run_bench(quick=False, repeats=3, label="pytest-retry")
+        problems = check_regression(retry, trajectory, tolerance=0.2)
+    assert problems == [], "; ".join(problems)
+
+
+def test_check_regression_flags_a_real_drop(report):
+    trajectory = load_trajectory(str(TRAJECTORY_PATH))
+    slow = json.loads(json.dumps(report))
+    for name in GATED_WORKLOADS:
+        slow["workloads"][name]["speedup"] = 0.5
+    problems = check_regression(slow, trajectory, tolerance=0.2)
+    assert len(problems) == len(GATED_WORKLOADS)

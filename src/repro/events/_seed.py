@@ -1,0 +1,453 @@
+"""Frozen copy of the seed event kernel — the determinism reference.
+
+This module preserves, verbatim in behaviour, the scheduler the repository
+shipped with before the hot-path rework: a single ``heapq`` keyed by
+``(time, sequence)``, one closure-wrapping ``call_at``, and a fresh
+``_ProcessedCallbacks`` allocation per processed event.  It exists for two
+reasons and must not be "improved":
+
+* the determinism-equivalence suite (``tests/test_events_determinism_equiv``)
+  replays recorded workloads on both kernels and asserts *byte-identical*
+  event ordering — the proof that the calendar-bucket/FIFO scheduler in
+  :mod:`repro.events.engine` is a pure optimisation;
+* the benchmark harness (``python -m repro bench``,
+  ``benchmarks/test_kernel_throughput.py``) measures the optimised kernel's
+  speedup against this one, which makes the reported speedups
+  machine-independent ratios rather than absolute wall-clock numbers.
+
+Only the kernel classes are duplicated; the failure-ledger semantics,
+interrupt delivery rules, and condition behaviour are identical to the
+live kernel (they were not touched by the optimisation), so any behavioural
+divergence the equivalence suite finds is a scheduler-ordering bug by
+construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import traceback as _traceback
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.events.engine import (Engine, Event, FailureRecord,
+                                 SimulationError, UnconsumedFailureError)
+from repro.events.process import Interrupt
+
+__all__ = ["SeedEngine", "HeapReferenceEngine"]
+
+
+class HeapReferenceEngine(Engine):
+    """The *live* Event/Process machinery on the seed single-heap scheduler.
+
+    Where :class:`SeedEngine` freezes the whole seed kernel (its own event,
+    process and condition classes — the honest baseline for benchmarks),
+    this class swaps only the scheduler: every event class, the resource
+    layer, and the full cluster stack run unchanged on top of a plain
+    ``heapq``.  That makes it the *ordering oracle* for the equivalence
+    suite — a full-stack experiment (Fig. 5 heatmaps, a chaos campaign)
+    can be replayed on both schedulers with byte-identical everything
+    else, so any output difference is a tier-merge bug in the calendar
+    wheel / FIFO lane and nothing but.
+    """
+
+    #: This class overrides ``_schedule``, so hot-path constructors must
+    #: not write straight into the (unused) tier structures.
+    _inline_schedule = False
+
+    def __init__(self, start: float = 0.0) -> None:
+        super().__init__(start)
+        self._heap: list = []
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap,
+                       (self._now + delay, next(self._counter), event))
+        self._pending += 1
+        if self.tracer is not None:
+            self.tracer.on_event_scheduled(self._pending)
+
+    def step(self) -> None:
+        when, _seq, event = heapq.heappop(self._heap)
+        self._pending -= 1
+        self._now = when
+        if self.tracer is not None:
+            self.tracer.on_event_processed()
+        event._run_callbacks()
+        if event._exception is not None and not event._defused:
+            self._record_failure(event)
+
+    def peek(self) -> float:
+        return self._heap[0][0] if self._heap else float("inf")
+
+
+class _ProcessedCallbacks(list):
+    """Seed behaviour: one rejecting sentinel list allocated per event."""
+
+    def _reject(self, *_args: Any) -> None:
+        raise SimulationError(
+            f"cannot add a callback to the already-processed {self.event!r}; "
+            f"it would never run")
+
+    def __init__(self, event: "SeedEvent") -> None:
+        super().__init__()
+        self.event = event
+
+    append = extend = insert = _reject
+
+
+class SeedEvent:
+    """The seed kernel's event (see :class:`repro.events.engine.Event`)."""
+
+    __slots__ = ("engine", "callbacks", "_value", "_exception", "_triggered",
+                 "_processed", "_defused")
+
+    def __init__(self, engine: "SeedEngine") -> None:
+        self.engine = engine
+        self.callbacks: list[Callable[["SeedEvent"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._triggered and self._exception is None
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    @property
+    def value(self) -> Any:
+        if self._exception is not None:
+            self.defuse()
+            raise self._exception
+        return self._value
+
+    def defuse(self) -> None:
+        self._defused = True
+        self.engine._discard_failure(self)
+
+    def succeed(self, value: Any = None) -> "SeedEvent":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.engine._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "SeedEvent":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._triggered = True
+        self._exception = exception
+        self.engine._schedule(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, _ProcessedCallbacks(self)
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = ("processed" if self._processed
+                 else ("triggered" if self._triggered else "pending"))
+        return f"<{type(self).__name__} {state} at t={self.engine.now:.6f}>"
+
+
+class SeedTimeout(SeedEvent):
+    """Seed fixed-delay event."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "SeedEngine", delay: float,
+                 value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = float(delay)
+        self._triggered = True
+        self._value = value
+        engine._schedule(self, delay=self.delay)
+
+
+class _SeedCondition(SeedEvent):
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, engine: "SeedEngine",
+                 events: Iterable[SeedEvent]) -> None:
+        super().__init__(engine)
+        self.events = list(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._on_fire(event)
+            else:
+                event.callbacks.append(self._on_fire)
+
+    def _collect(self) -> dict:
+        return {e: e._value for e in self.events
+                if e.triggered and e._exception is None}
+
+    def _on_fire(self, event: SeedEvent) -> None:
+        raise NotImplementedError
+
+
+class SeedAnyOf(_SeedCondition):
+    __slots__ = ()
+
+    def _on_fire(self, event: SeedEvent) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            event.defuse()
+            self.fail(event._exception)
+        else:
+            self.succeed(self._collect())
+
+
+class SeedAllOf(_SeedCondition):
+    __slots__ = ()
+
+    def _on_fire(self, event: SeedEvent) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            event.defuse()
+            self.fail(event._exception)
+            return
+        self._n_fired += 1
+        if self._n_fired == len(self.events):
+            self.succeed(self._collect())
+
+
+class SeedProcess(SeedEvent):
+    """The seed kernel's process (see :class:`repro.events.process.Process`)."""
+
+    __slots__ = ("generator", "name", "_target", "_started", "obs_span")
+
+    def __init__(self, engine: "SeedEngine",
+                 generator: Generator[SeedEvent, Any, Any],
+                 name: str = "") -> None:
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[SeedEvent] = None
+        self._started = False
+        self.obs_span = None
+        bootstrap = SeedEvent(engine)
+        bootstrap._triggered = True
+        engine._schedule(bootstrap)
+        bootstrap.callbacks.append(self._resume)
+        self._target = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        if self._triggered:
+            raise SimulationError(
+                f"cannot interrupt finished process {self.name!r}")
+        deliver = SeedEvent(self.engine)
+        deliver._triggered = True
+        deliver._exception = Interrupt(cause)
+        self.engine._schedule(deliver)
+        deliver.callbacks.append(self._deliver_interrupt)
+
+    def _deliver_interrupt(self, event: SeedEvent) -> None:
+        if self._triggered:
+            event.defuse()
+            return
+        if not self._started:
+            event.defuse()
+            redelivery = SeedEvent(self.engine)
+            redelivery._triggered = True
+            redelivery._exception = event._exception
+            self.engine._schedule(redelivery)
+            redelivery.callbacks.append(self._deliver_interrupt)
+            return
+        target = self._target
+        if target is not None and self._resume in target.callbacks:  # simlint: disable=PERF302  (frozen seed kernel — byte-for-byte reference, never optimised)
+            target.callbacks.remove(self._resume)
+        self._target = None
+        self._resume(event)
+
+    def _resume(self, event: SeedEvent) -> None:
+        self._started = True
+        try:
+            if event._exception is not None:
+                event.defuse()
+                target = self.generator.throw(event._exception)
+            else:
+                target = self.generator.send(event._value)
+        except StopIteration as stop:
+            self._target = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as interrupt:
+            self._target = None
+            self.fail(interrupt)
+            return
+        except Exception as exc:
+            self._target = None
+            self.fail(exc)
+            return
+        except BaseException:
+            self._target = None
+            raise
+
+        if not isinstance(target, SeedEvent):
+            self._target = None
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        self._target = target
+        if target.processed:
+            if target._exception is not None:
+                target.defuse()
+            immediate = SeedEvent(self.engine)
+            immediate._triggered = True
+            immediate._value = target._value
+            immediate._exception = target._exception
+            self.engine._schedule(immediate)
+            immediate.callbacks.append(self._resume)
+            self._target = immediate
+        else:
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        state = "finished" if self._triggered else "alive"
+        return f"SeedProcess({self.name!r}, {state})"
+
+
+class SeedEngine:
+    """The seed event loop: one heap, ``peek()`` twice per drain iteration."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: list[tuple[float, int, SeedEvent]] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._failures: dict[SeedEvent, FailureRecord] = {}
+        self.tracer: Optional[Any] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def unconsumed_failures(self) -> List[FailureRecord]:
+        return list(self._failures.values())
+
+    def _record_failure(self, event: SeedEvent) -> None:
+        exc = event._exception
+        assert exc is not None
+        tb_text = "".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ) if exc.__traceback__ is not None else ""
+        self._failures[event] = FailureRecord(
+            event_repr=repr(event),
+            process_name=getattr(event, "name", None),
+            time_s=self._now,
+            exception=exc,
+            traceback_text=tb_text,
+        )
+
+    def _discard_failure(self, event: SeedEvent) -> None:
+        self._failures.pop(event, None)
+
+    def check_failures(self) -> None:
+        if self._failures:
+            records = list(self._failures.values())
+            self._failures.clear()
+            raise UnconsumedFailureError(records)
+
+    def event(self) -> SeedEvent:
+        return SeedEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> SeedTimeout:
+        return SeedTimeout(self, delay, value)
+
+    def any_of(self, events: Iterable[SeedEvent]) -> SeedAnyOf:
+        return SeedAnyOf(self, events)
+
+    def all_of(self, events: Iterable[SeedEvent]) -> SeedAllOf:
+        return SeedAllOf(self, events)
+
+    def spawn(self, generator: Generator[SeedEvent, Any, Any],
+              name: str = "") -> SeedProcess:
+        return SeedProcess(self, generator, name=name)
+
+    process = spawn
+
+    def _schedule(self, event: SeedEvent, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue,
+                       (self._now + delay, next(self._counter), event))
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> SeedEvent:
+        """Seed shape: a Timeout plus a fresh closure wrapper per call."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {when} < {self._now}")
+        event = SeedTimeout(self, when - self._now)
+        event.callbacks.append(lambda _e: callback())
+        return event
+
+    def step(self) -> None:
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+        if event._exception is not None and not event._defused:
+            self._record_failure(event)
+
+    def peek(self) -> float:
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        try:
+            while self._queue:
+                when = self._queue[0][0]
+                if until is not None and when > until:
+                    break
+                self.step()
+            if until is not None and self._now < until:
+                self._now = until
+            if not self._queue:
+                self.check_failures()
+        finally:
+            self._running = False
+
+    def run_until_complete(self, process: SeedEvent,
+                           limit: float = 1e12) -> Any:
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    "deadlock: event queue drained before process finished")
+            if self.peek() > limit:
+                raise SimulationError(
+                    f"simulation exceeded time limit {limit}")
+            self.step()
+        while not process.processed and self._queue and self.peek() <= self._now:
+            self.step()
+        return process.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SeedEngine t={self._now:.6f} queued={len(self._queue)}>"

@@ -1,30 +1,54 @@
 """Deterministic discrete-event simulation engine.
 
-The engine keeps a priority queue of :class:`Event` objects keyed by
-``(time, sequence)``.  The sequence number is a monotonically increasing
-counter, so two events scheduled for the same simulated timestamp fire in the
-order they were scheduled.  Determinism is a hard requirement for this
-project: the whole benchmark harness asserts on simulated measurements, and a
-non-deterministic kernel would make the reproduction unfalsifiable.
+Determinism is a hard requirement for this project: the whole benchmark
+harness asserts on simulated measurements, and a non-deterministic kernel
+would make the reproduction unfalsifiable.  Events scheduled for the same
+simulated timestamp fire in the order they were scheduled — every event
+carries a monotonically increasing sequence number and the kernel dispatches
+in exact ``(time, sequence)`` order.
 
 The API is intentionally close to SimPy's (``env.timeout``, ``env.process``)
 so the simulation code reads like standard discrete-event Python, but the
 implementation is from scratch — no third-party simulation dependency is
 used anywhere in the repository.
 
+Scheduling tiers (the hot-path rework; see docs/ARCHITECTURE.md §1,
+"Kernel performance"):
+
+* **zero-delay FIFO lane** — ``delay == 0.0`` events (process bootstraps,
+  ``succeed``/``fail`` triggers, immediate resumptions, interrupt
+  deliveries) are appended to a deque.  Their fire time is the current
+  instant and their sequence numbers are assigned in append order, so the
+  deque is already sorted by ``(time, seq)`` and the head is always the
+  lane's minimum — no heap traffic at all for the dominant event class.
+* **calendar-bucket wheel** — future events are bucketed by *exact* fire
+  time in a dict, with a heap over the distinct times only.  A thousand
+  same-cadence sampling daemons firing at the same instant cost one heap
+  push per distinct timestamp instead of one per event, and each bucket
+  is drained by index (bucket entries are appended in sequence order, so
+  a bucket never needs sorting).
+
+The pop path merges the tiers by ``(time, seq)``, which makes the event
+ordering *byte-identical* to the seed single-heap kernel preserved in
+:mod:`repro.events._seed`; the equivalence suite replays recorded
+workloads on both and asserts exact order equality.
+
 Observability: an :class:`Engine` optionally carries a tracer
 (:mod:`repro.obs`) in its ``tracer`` attribute.  Every kernel hook is
 guarded by a single ``is not None`` test, so tracing costs nothing when
-disabled; when enabled, the tracer sees events scheduled/processed, heap
-depth, failure-ledger traffic, and the full process lifecycle as spans.
+disabled.  The engine additionally keeps two deterministic fast-path
+counters (``fifo_hits``, ``wheel_hits``) and exposes ``wheel_depth`` so
+the metrics registry can report how the tiers are being used.
 """
 
 from __future__ import annotations
 
-import heapq
+import functools
 import itertools
 import traceback as _traceback
+from collections import deque
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = ["Engine", "Event", "SimulationError", "UnconsumedFailureError",
@@ -92,20 +116,25 @@ class _ProcessedCallbacks(list):
     the bug surfaces at the call site.  Waiting on a processed event is
     still supported through the kernel APIs: ``yield event`` inside a
     process resumes immediately, and conditions absorb processed children.
+
+    A single shared instance serves every processed event — the seed kernel
+    allocated one per event, which showed up in the hot-path profile.
     """
+
+    __slots__ = ()
 
     def _reject(self, *_args: Any) -> None:
         raise SimulationError(
-            f"cannot add a callback to the already-processed {self.event!r}; "
-            f"it would never run. Wait on events via yield/spawn/any_of/"
-            f"all_of (which handle processed events), or engine.call_at for "
-            f"plain scheduling")
-
-    def __init__(self, event: "Event") -> None:
-        super().__init__()
-        self.event = event
+            "cannot add a callback to an already-processed event; it would "
+            "never run. Wait on events via yield/spawn/any_of/all_of (which "
+            "handle processed events), or engine.call_at for plain "
+            "scheduling")
 
     append = extend = insert = _reject
+
+
+#: The one shared rejecting list every processed event points at.
+_PROCESSED_CALLBACKS = _ProcessedCallbacks()
 
 
 class Event:
@@ -123,6 +152,12 @@ class Event:
 
     __slots__ = ("engine", "callbacks", "_value", "_exception", "_triggered",
                  "_processed", "_defused")
+
+    #: True when :meth:`Engine.step` may run this class's callbacks inline
+    #: (i.e. :meth:`_run_callbacks` is the base implementation).  Any
+    #: subclass that overrides ``_run_callbacks`` MUST set this to False,
+    #: or the engine will bypass the override.
+    _inline_callbacks = True
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
@@ -204,7 +239,7 @@ class Event:
 
     def _run_callbacks(self) -> None:
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, _ProcessedCallbacks(self)
+        callbacks, self.callbacks = self.callbacks, _PROCESSED_CALLBACKS
         for callback in callbacks:
             callback(self)
 
@@ -221,11 +256,72 @@ class Timeout(Event):
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(engine)
-        self.delay = float(delay)
+        # Slot assignments are written out flat instead of chaining through
+        # Event.__init__: timeouts are the single most-constructed object in
+        # any simulation, and the extra frame is measurable at that volume.
+        self.engine = engine
+        self.callbacks = []
+        self._exception = None
+        self._processed = False
+        self._defused = False
+        self.delay = delay = float(delay)
         self._triggered = True
         self._value = value
-        engine._schedule(self, delay=self.delay)
+        # Inlined Engine._schedule (same tier selection, same counter
+        # consumption order): timeouts are constructed often enough on the
+        # chaos-mix path that the extra call frame shows up in profiles.
+        # Engines with a custom _schedule (``_inline_schedule = False``)
+        # take the dispatching path instead.
+        if not engine._inline_schedule:
+            engine._schedule(self, delay=delay)
+            return
+        if delay == 0.0:
+            engine._fifo.append((engine._now, next(engine._counter), self))
+        else:
+            when = engine._now + delay
+            wheel = engine._wheel
+            bucket = wheel.get(when)
+            if bucket is None:
+                wheel[when] = (next(engine._counter), self)
+                heappush(engine._wheel_times, when)
+            elif type(bucket) is list:
+                bucket.append((next(engine._counter), self))
+            else:
+                wheel[when] = [bucket, (next(engine._counter), self)]
+        engine._pending += 1
+        if engine.tracer is not None:
+            engine.tracer.on_event_scheduled(engine._pending)
+
+
+class _Callback(Event):
+    """A triggered event that invokes one stored callable when it fires.
+
+    This is what :meth:`Engine.call_at` schedules.  The seed kernel built a
+    :class:`Timeout` plus a fresh ``lambda`` wrapper per call — two extra
+    allocations and an indirect call on a path the chaos injectors and
+    SLURM trace replays hit constantly.  Here the callable is stored in a
+    slot and invoked directly, before any conventionally appended
+    callbacks (the same order the seed wrapper produced, since the wrapper
+    was always the first callback in the list).
+    """
+
+    __slots__ = ("_fn",)
+
+    _inline_callbacks = False  # overrides _run_callbacks below
+
+    def __init__(self, engine: "Engine", delay: float,
+                 fn: Callable[[], None]) -> None:
+        super().__init__(engine)
+        self._fn = fn
+        self._triggered = True
+        engine._schedule(self, delay)
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, _PROCESSED_CALLBACKS
+        self._fn()
+        for callback in callbacks:
+            callback(self)
 
 
 class _Condition(Event):
@@ -306,13 +402,45 @@ class Engine:
     ----------
     start:
         Initial simulated time, in seconds.  Defaults to ``0.0``.
+
+    Scheduling state (three tiers, merged by ``(time, seq)`` on pop):
+
+    * ``_fifo`` — zero-delay lane: ``(time, seq, event)`` deque, appended
+      in sequence order at the then-current time, so it is sorted by
+      construction;
+    * ``_wheel`` / ``_wheel_times`` — calendar buckets: exact fire time →
+      ``[(seq, event), ...]`` (each bucket is append-ordered by sequence),
+      plus a heap over the *distinct* bucket times;
+    * ``_slot`` — the bucket currently being drained, with ``_slot_time``
+      and a read cursor ``_slot_pos``.  A bucket only activates when it
+      holds the global minimum, at which point the simulated clock reaches
+      its time; from then on only FIFO events (or, for pathological
+      sub-resolution delays, a *new* bucket) can share that instant, and
+      both carry later sequence numbers than anything already in the slot
+      except where the pop comparison says otherwise.
     """
+
+    #: True when hot-path event constructors (:class:`Timeout`) may write
+    #: straight into this engine's scheduling tiers instead of calling
+    #: :meth:`_schedule`.  Any subclass that overrides ``_schedule`` MUST
+    #: set this to False, or constructors will bypass the override.
+    _inline_schedule = True
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
-        self._queue: list[tuple[float, int, Event]] = []
+        self._fifo: deque[tuple[float, int, Event]] = deque()
+        self._wheel: dict[float, list[tuple[int, Event]]] = {}
+        self._wheel_times: list[float] = []
+        self._slot: Optional[list[tuple[int, Event]]] = None
+        self._slot_time = 0.0
+        self._slot_pos = 0
+        self._pending = 0
         self._counter = itertools.count()
         self._running = False
+        #: Zero-delay-lane pops (deterministic fast-path counter).
+        self.fifo_hits = 0
+        #: Calendar-bucket pops (deterministic fast-path counter).
+        self.wheel_hits = 0
         #: Failed, processed events whose exception nobody consumed yet.
         #: Insertion-ordered (dict) so diagnostics are deterministic.
         self._failures: dict[Event, FailureRecord] = {}
@@ -321,12 +449,29 @@ class Engine:
         #: check, so an untraced simulation pays one attribute test per
         #: operation and allocates nothing.
         self.tracer: Optional[Any] = None
+        # Instance-bound constructors: ``engine.timeout(...)`` and
+        # ``engine.event()`` resolve to these C-level partials instead of
+        # the method wrappers below, skipping one Python call frame on the
+        # two hottest construction paths.  The methods remain on the class
+        # as documentation and as the fallback for subclasses.
+        self.timeout = functools.partial(Timeout, self)
+        self.event = functools.partial(Event, self)
 
     # -- clock ------------------------------------------------------------
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def queue_depth(self) -> int:
+        """Events scheduled but not yet dispatched, across all tiers."""
+        return self._pending
+
+    @property
+    def wheel_depth(self) -> int:
+        """Distinct future timestamps currently held in calendar buckets."""
+        return len(self._wheel) + (1 if self._slot is not None else 0)
 
     # -- failure ledger -----------------------------------------------------
     @property
@@ -396,17 +541,61 @@ class Engine:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+        if delay == 0.0:
+            # Zero-delay lane: fire time is the current instant and the
+            # sequence counter is monotone, so appending keeps the deque
+            # sorted by (time, seq) with its minimum at the head.
+            self._fifo.append((self._now, next(self._counter), event))
+        else:
+            when = self._now + delay
+            bucket = self._wheel.get(when)
+            if bucket is None:
+                # Singleton bucket: a bare (seq, event) tuple.  Scattered
+                # timestamps (the chaos-mix shape) never pay for a list;
+                # one is only materialised when a second event lands on
+                # the same instant.
+                self._wheel[when] = (next(self._counter), event)
+                heappush(self._wheel_times, when)
+            elif type(bucket) is list:
+                bucket.append((next(self._counter), event))
+            else:
+                self._wheel[when] = [bucket, (next(self._counter), event)]
+        self._pending += 1
         if self.tracer is not None:
-            self.tracer.on_event_scheduled(len(self._queue))
+            self.tracer.on_event_scheduled(self._pending)
+
+    def _activate_pop(self) -> tuple[float, Event]:
+        """Pop the earliest calendar bucket's first event.
+
+        The caller has already established that this bucket holds the
+        global minimum.  A single-event bucket (the common shape for
+        scattered timestamps) is consumed without touching the slot
+        state at all; a multi-event bucket becomes the active slot with
+        its read cursor past the entry returned here.
+        """
+        when = heappop(self._wheel_times)
+        bucket = self._wheel.pop(when)
+        self._pending -= 1
+        self.wheel_hits += 1
+        if type(bucket) is tuple:
+            return when, bucket[1]
+        self._slot = bucket
+        self._slot_time = when
+        self._slot_pos = 1
+        return when, bucket[0][1]
 
     def call_at(self, when: float, callback: Callable[[], None]) -> Event:
-        """Run ``callback()`` at absolute simulated time ``when``."""
+        """Run ``callback()`` at absolute simulated time ``when``.
+
+        Returns the scheduled event (a :class:`_Callback`): waiters may
+        still append conventional callbacks to it, which run after
+        ``callback`` itself, exactly as with the seed kernel's
+        Timeout-plus-wrapper shape — but without allocating a closure per
+        call.
+        """
         if when < self._now:
             raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
-        event = Timeout(self, when - self._now)
-        event.callbacks.append(lambda _e: callback())
-        return event
+        return _Callback(self, when - self._now, callback)
 
     # -- execution ----------------------------------------------------------
     def step(self) -> None:
@@ -416,18 +605,90 @@ class Engine:
         its exception (and without being defused) enters the
         unconsumed-failure ledger; :meth:`run` raises a diagnostic if the
         simulation drains while the ledger is non-empty.
+
+        The three scheduling tiers are merged by ``(time, seq)`` directly
+        in this method — an active calendar slot can only be preempted by
+        the FIFO lane (at the same instant with an older sequence number),
+        the FIFO head competes with the earliest wheel bucket, and an
+        empty queue raises exactly like the seed kernel's ``heappop``.
         """
-        when, _seq, event = heapq.heappop(self._queue)
+        fifo = self._fifo
+        slot = self._slot
+        if slot is not None:
+            pos = self._slot_pos
+            entry = slot[pos]
+            if fifo:
+                head = fifo[0]
+                slot_time = self._slot_time
+                if head[0] < slot_time or (head[0] == slot_time
+                                           and head[1] < entry[0]):
+                    del fifo[0]
+                    self._pending -= 1
+                    self.fifo_hits += 1
+                    when = head[0]
+                    event = head[2]
+                    entry = None
+            if entry is not None:
+                pos += 1
+                if pos == len(slot):
+                    self._slot = None
+                else:
+                    self._slot_pos = pos
+                self._pending -= 1
+                self.wheel_hits += 1
+                when = self._slot_time
+                event = entry[1]
+        elif fifo:
+            head = fifo[0]
+            times = self._wheel_times
+            take_fifo = True
+            if times:
+                wtime = times[0]
+                if wtime < head[0]:
+                    take_fifo = False
+                elif wtime == head[0]:
+                    bucket = self._wheel[wtime]
+                    seq0 = bucket[0] if type(bucket) is tuple else bucket[0][0]
+                    if seq0 < head[1]:
+                        take_fifo = False
+            if take_fifo:
+                del fifo[0]
+                self._pending -= 1
+                self.fifo_hits += 1
+                when = head[0]
+                event = head[2]
+            else:
+                when, event = self._activate_pop()
+        else:
+            if not self._wheel_times:
+                raise IndexError("pop from an empty event queue")
+            when, event = self._activate_pop()
         self._now = when
         if self.tracer is not None:
             self.tracer.on_event_processed()
-        event._run_callbacks()
+        if event._inline_callbacks:
+            # Inlined Event._run_callbacks (the overwhelmingly common
+            # shape): saves one Python call frame per processed event.
+            event._processed = True
+            callbacks = event.callbacks
+            event.callbacks = _PROCESSED_CALLBACKS
+            for callback in callbacks:
+                callback(event)
+        else:
+            event._run_callbacks()
         if event._exception is not None and not event._defused:
             self._record_failure(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if self._slot is not None:
+            # An active slot is always at (or tied with) the minimum: its
+            # time is the instant currently being drained.
+            return self._slot_time
+        best = self._fifo[0][0] if self._fifo else float("inf")
+        if self._wheel_times and self._wheel_times[0] < best:
+            return self._wheel_times[0]
+        return best
 
     def run(self, until: Optional[float] = None) -> None:
         """Run the event loop.
@@ -451,14 +712,17 @@ class Engine:
             raise SimulationError("engine is already running")
         self._running = True
         try:
-            while self._queue:
-                when = self._queue[0][0]
-                if until is not None and when > until:
-                    break
-                self.step()
-            if until is not None and self._now < until:
-                self._now = until
-            if not self._queue:
+            step = self.step
+            if until is None:
+                while self._pending:
+                    step()
+            else:
+                peek = self.peek
+                while self._pending and peek() <= until:
+                    step()
+                if self._now < until:
+                    self._now = until
+            if not self._pending:
                 self.check_failures()
         finally:
             self._running = False
@@ -467,18 +731,22 @@ class Engine:
         """Run until ``process`` has fired, returning its value.
 
         ``limit`` bounds runaway simulations; exceeding it raises
-        :class:`SimulationError`.
+        :class:`SimulationError`.  (The seed kernel computed ``peek()``
+        twice per drain iteration; here each loop reads the next fire time
+        exactly once.)
         """
+        step = self.step
+        peek = self.peek
         while not process.triggered:
-            if not self._queue:
+            if not self._pending:
                 raise SimulationError("deadlock: event queue drained before process finished")
-            if self.peek() > limit:
+            if peek() > limit:
                 raise SimulationError(f"simulation exceeded time limit {limit}")
-            self.step()
+            step()
         # drain the zero-delay callbacks so the process is fully processed
-        while not process.processed and self._queue and self.peek() <= self._now:
-            self.step()
+        while not process.processed and self._pending and peek() <= self._now:
+            step()
         return process.value  # a failed process raises here (and is defused)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Engine t={self._now:.6f} queued={len(self._queue)}>"
+        return f"<Engine t={self._now:.6f} queued={self._pending}>"

@@ -66,7 +66,7 @@ class ZScoreDetector:
         variance = sum((v - mean) ** 2 for v in values) / len(values)
         std = math.sqrt(variance)
         anomalies = []
-        for subject, value in sorted(readings.items()):
+        for subject, value in sorted(readings.items()):  # simlint: disable=PERF303  (analysis sweep, runs once per scan not per publish)
             deviation = abs(value - mean)
             if deviation < self.min_absolute_spread:
                 continue
@@ -159,7 +159,8 @@ def scan_cluster_temperatures(db: TimeSeriesDB, hostnames: Sequence[str],
 
     # Cross-sectional scan at each common sampling instant.
     zscore = ZScoreDetector()
-    all_times = sorted({t for points in series.values() for t, _v in points})
+    all_times = sorted(  # simlint: disable=PERF303  (offline report sweep, not per event)
+        {t for points in series.values() for t, _v in points})
     for time_s in all_times:
         cross_section = {}
         for host, points in series.items():
@@ -168,4 +169,5 @@ def scan_cluster_temperatures(db: TimeSeriesDB, hostnames: Sequence[str],
                 cross_section[host] = at_instant[0]
         anomalies.extend(zscore.scan(time_s, cross_section))
 
-    return sorted(anomalies, key=lambda a: (a.time_s, a.subject))
+    return sorted(anomalies,  # simlint: disable=PERF303  (once per scan, output ordering contract)
+                  key=lambda a: (a.time_s, a.subject))

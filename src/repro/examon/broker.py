@@ -44,7 +44,7 @@ class BrokerUnavailableError(ConnectionError):
     """
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MQTTMessage:
     """One published message."""
 
@@ -54,7 +54,7 @@ class MQTTMessage:
     retained: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Subscription:
     """One client subscription: a pattern and its delivery callback."""
 
@@ -96,13 +96,24 @@ class MQTTBroker:
         self._subscriptions: List[Subscription] = []
         self._root = _TrieNode()
         self._retained: Dict[str, MQTTMessage] = {}
+        #: Per-topic resolved subscription lists.  The sampling plugins
+        #: publish the same few hundred concrete topics every period, so
+        #: after the first publish of each topic the trie walk (and its
+        #: subscription-order sort) is a dict hit.  Any subscribe or
+        #: unsubscribe clears the cache wholesale — correctness first; a
+        #: deployment's subscription set changes a handful of times per
+        #: run, its topic set never.
+        self._match_cache: Dict[str, List[Subscription]] = {}
         self._next_seq = 1
         self.messages_published = 0
         self.messages_delivered = 0
         self.bytes_published = 0
         #: Subscription-index nodes visited while matching (the
         #: deterministic "match time" the metrics registry exposes).
+        #: Cache hits visit zero index nodes and are counted separately.
         self.match_ops = 0
+        #: Publishes whose subscription set came from the match cache.
+        self.match_cache_hits = 0
         #: Availability (chaos injection): a down broker refuses publishes.
         self.available = True
         #: Slow-broker fault: extra per-publish latency the *publishing*
@@ -132,7 +143,11 @@ class MQTTBroker:
         self._next_seq += 1
         self._subscriptions.append(subscription)
         self._index_insert(subscription)
-        for topic in sorted(self._retained):
+        self._match_cache.clear()
+        # Replay order is part of the subscribe contract (alphabetical);
+        # this is a cold path — it runs once per subscription, not per
+        # publish.
+        for topic in sorted(self._retained):  # simlint: disable=PERF303
             if topic_matches(pattern, topic):
                 callback(replace(self._retained[topic], retained=True))
                 self.messages_delivered += 1
@@ -140,9 +155,12 @@ class MQTTBroker:
 
     def unsubscribe(self, subscription: Subscription) -> None:
         """Drop a subscription (no-op if already gone)."""
-        if subscription in self._subscriptions:
+        # Linear scan over live subscriptions; a deployment holds a handful
+        # and unsubscribe is a cold path.
+        if subscription in self._subscriptions:  # simlint: disable=PERF302
             self._subscriptions.remove(subscription)
             self._index_remove(subscription)
+            self._match_cache.clear()
 
     def subscriptions_of(self, client_id: str) -> List[Subscription]:
         """All live subscriptions of one client."""
@@ -206,7 +224,10 @@ class MQTTBroker:
                 stack.append((child, depth + 1))
             if node.plus is not None:
                 stack.append((node.plus, depth + 1))
-        matched.sort(key=lambda s: s.seq)
+        # Trie traversal order is structural, not subscription order; the
+        # delivery contract is subscription order, so sort by seq.  Runs
+        # once per topic — publish hits the match cache afterwards.
+        matched.sort(key=lambda s: s.seq)  # simlint: disable=PERF303
         return matched
 
     # -- publish -----------------------------------------------------------
@@ -231,8 +252,14 @@ class MQTTBroker:
         self.bytes_published += len(topic) + len(payload)
         if retain:
             self._retained[topic] = message
+        subscriptions = self._match_cache.get(topic)
+        if subscriptions is None:
+            subscriptions = self._match(topic.split("/"))
+            self._match_cache[topic] = subscriptions
+        else:
+            self.match_cache_hits += 1
         delivered = 0
-        for subscription in self._match(topic.split("/")):
+        for subscription in subscriptions:
             subscription.callback(message)
             delivered += 1
         self.messages_delivered += delivered
@@ -240,7 +267,7 @@ class MQTTBroker:
 
     def retained_topics(self) -> List[str]:
         """Topics with a retained last sample, sorted."""
-        return sorted(self._retained)
+        return sorted(self._retained)  # simlint: disable=PERF303  (introspection endpoint, not on the publish path)
 
     # -- fault injection -----------------------------------------------------
     def go_offline(self) -> None:

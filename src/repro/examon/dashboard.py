@@ -54,7 +54,7 @@ class Heatmap:
             lo, hi = lo - 1.0, hi + 1.0
         span = hi - lo
         lines = [f"heatmap: {self.metric}  [{lo:.3g} .. {hi:.3g}]"]
-        for host in sorted(self.rows):
+        for host in sorted(self.rows):  # simlint: disable=PERF303  (render path, runs once per dashboard refresh)
             cells = self.rows[host][:width]
             line = "".join(
                 shades[min(int((v - lo) / span * (len(shades) - 1)),

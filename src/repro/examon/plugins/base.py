@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
+from itertools import islice
 from typing import Deque, Dict, Generator, Optional, Tuple
 
 from repro.chaos.backoff import ExponentialBackoff
@@ -131,17 +132,24 @@ class SamplingPlugin(ABC):
             self._buffer_metrics(metrics, now_s)
             self._maybe_reconnect(now_s)
             return 0
-        items = list(metrics.items())
-        for i, (topic, value) in enumerate(items):
-            try:
-                self.broker.publish(topic, encode_payload(value, now_s), now_s)
-            except BrokerUnavailableError:
-                # Buffer the unpublished remainder of this instant and
-                # switch into the reconnect path.
-                self._buffer_metrics(dict(items[i:]), now_s)
-                self._disconnect(now_s)
-                return i
-        return len(items)
+        # Batched publish: the whole node's metric set goes out under one
+        # try block with the broker method bound once, instead of a list
+        # copy plus a per-metric exception frame.  Broker availability
+        # cannot change mid-batch (nothing yields to the engine here), so
+        # the only divergence point is the broker refusing the connect —
+        # in which case ``published`` marks where the batch stopped and
+        # the failed metric onwards is buffered, exactly as before.
+        publish = self.broker.publish
+        published = 0
+        try:
+            for topic, value in metrics.items():
+                publish(topic, encode_payload(value, now_s), now_s)
+                published += 1
+        except BrokerUnavailableError:
+            self._buffer_metrics(dict(islice(metrics.items(), published,
+                                             None)), now_s)
+            self._disconnect(now_s)
+        return published
 
     def _buffer_metrics(self, metrics: Dict[str, float], now_s: float) -> None:
         for topic, value in metrics.items():

@@ -52,6 +52,9 @@ class StatsPubPlugin(SamplingPlugin):
         super().__init__(hostname=node.hostname, broker=broker,
                          sample_hz=sample_hz, schema=schema, **hardening)
         self.node = node
+        #: metric name → formatted Table II topic (topics are immutable
+        #: per plugin; format once, look up every sampling instant).
+        self._topic_cache: Dict[str, str] = {}
 
     def sample(self, now_s: float) -> Dict[str, float]:
         """Collect every Table III metric for this node."""
@@ -111,5 +114,12 @@ class StatsPubPlugin(SamplingPlugin):
             self.note_target_recovered("sensor-dropout", target, now_s)
             values[f"temperature.{sensor}"] = int(raw.strip()) / 1000.0
 
-        return {self.schema.stats_topic(self.hostname, metric): value
-                for metric, value in values.items()}
+        topics = self._topic_cache
+        out: Dict[str, float] = {}
+        for metric, value in values.items():
+            topic = topics.get(metric)
+            if topic is None:
+                topic = self.schema.stats_topic(self.hostname, metric)
+                topics[metric] = topic
+            out[topic] = value
+        return out

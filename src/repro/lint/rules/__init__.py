@@ -6,10 +6,12 @@ Families
 * ``ENG2xx`` — event-engine discipline (:mod:`repro.lint.rules.engine_discipline`)
 * ``CAL3xx`` — calibration hygiene (:mod:`repro.lint.rules.calibration`)
 * ``UNIT4xx`` — unit-suffix consistency (:mod:`repro.lint.rules.units`)
+* ``PERF3xx`` — hot-path algorithmic smells (:mod:`repro.lint.rules.perf`)
 """
 
 from __future__ import annotations
 
-from repro.lint.rules import calibration, determinism, engine_discipline, units
+from repro.lint.rules import (calibration, determinism, engine_discipline,
+                              perf, units)
 
-__all__ = ["determinism", "engine_discipline", "calibration", "units"]
+__all__ = ["determinism", "engine_discipline", "calibration", "units", "perf"]

@@ -26,8 +26,10 @@ from repro.obs.export import (chrome_trace_json, span_tree_text,
                               to_chrome_trace, validate_chrome_trace)
 from repro.obs.instrument import (attach_tracer, detach_tracer,
                                   register_broker_metrics,
+                                  register_engine_metrics,
                                   register_mpi_metrics,
-                                  register_scheduler_metrics)
+                                  register_scheduler_metrics,
+                                  register_tsdb_metrics)
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry
 from repro.obs.trace import NULL_SPAN, Span, Tracer, span_of
 
@@ -35,8 +37,9 @@ __all__ = [
     "Counter", "Gauge", "MetricsRegistry",
     "NULL_SPAN", "Span", "Tracer", "span_of",
     "attach_tracer", "detach_tracer",
-    "register_broker_metrics", "register_mpi_metrics",
-    "register_scheduler_metrics",
+    "register_broker_metrics", "register_engine_metrics",
+    "register_mpi_metrics", "register_scheduler_metrics",
+    "register_tsdb_metrics",
     "chrome_trace_json", "span_tree_text", "to_chrome_trace",
     "validate_chrome_trace",
 ]

@@ -14,8 +14,9 @@ from typing import Any, Optional
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
-__all__ = ["attach_tracer", "detach_tracer", "register_broker_metrics",
-           "register_scheduler_metrics", "register_mpi_metrics"]
+__all__ = ["attach_tracer", "detach_tracer", "register_engine_metrics",
+           "register_broker_metrics", "register_scheduler_metrics",
+           "register_mpi_metrics", "register_tsdb_metrics"]
 
 
 def attach_tracer(engine: Any, metrics: Optional[MetricsRegistry] = None) -> Tracer:
@@ -35,6 +36,26 @@ def detach_tracer(engine: Any) -> None:
     engine.tracer = None
 
 
+def register_engine_metrics(registry: MetricsRegistry, engine: Any,
+                            prefix: str = "engine") -> None:
+    """Expose the kernel's scheduling-tier usage as read-through gauges.
+
+    ``fifo_hits`` / ``wheel_hits`` are the engine's deterministic
+    fast-path counters (how many pops the zero-delay lane and the
+    calendar buckets served); ``wheel_depth`` is the number of distinct
+    future timestamps currently bucketed.  Together they say *why* a
+    workload is fast or slow on the tiered scheduler — a wheel_depth
+    that tracks queue_depth means the workload has no timestamp sharing
+    for the wheel to exploit.
+    """
+    registry.gauge_callback(f"{prefix}.queue_depth",
+                            lambda: engine.queue_depth)
+    registry.gauge_callback(f"{prefix}.wheel_depth",
+                            lambda: engine.wheel_depth)
+    registry.gauge_callback(f"{prefix}.fifo_hits", lambda: engine.fifo_hits)
+    registry.gauge_callback(f"{prefix}.wheel_hits", lambda: engine.wheel_hits)
+
+
 def register_broker_metrics(registry: MetricsRegistry, broker: Any,
                             prefix: str = "broker") -> None:
     """Expose an :class:`~repro.examon.broker.MQTTBroker`'s transport load.
@@ -50,10 +71,31 @@ def register_broker_metrics(registry: MetricsRegistry, broker: Any,
     registry.gauge_callback(f"{prefix}.bytes_published",
                             lambda: broker.bytes_published)
     registry.gauge_callback(f"{prefix}.match_ops", lambda: broker.match_ops)
+    registry.gauge_callback(f"{prefix}.match_cache_hits",
+                            lambda: broker.match_cache_hits)
     registry.gauge_callback(f"{prefix}.subscriptions",
                             lambda: broker.subscription_count)
     registry.gauge_callback(f"{prefix}.retained_topics",
                             lambda: len(broker.retained_topics()))
+
+
+def register_tsdb_metrics(registry: MetricsRegistry, tsdb: Any,
+                          prefix: str = "tsdb") -> None:
+    """Expose a :class:`~repro.examon.tsdb.TimeSeriesDB`'s ingest load.
+
+    ``fast_appends`` vs ``sorted_inserts`` splits the insert traffic into
+    the monotone append-only fast path and the out-of-order ``bisect``
+    slow path (outage backfills) — the ratio is the health indicator for
+    the storage hot path.
+    """
+    registry.gauge_callback(f"{prefix}.points_stored",
+                            lambda: tsdb.points_stored)
+    registry.gauge_callback(f"{prefix}.fast_appends",
+                            lambda: tsdb.fast_appends)
+    registry.gauge_callback(f"{prefix}.sorted_inserts",
+                            lambda: tsdb.sorted_inserts)
+    registry.gauge_callback(f"{prefix}.decode_errors",
+                            lambda: tsdb.decode_errors)
 
 
 def register_scheduler_metrics(registry: MetricsRegistry, controller: Any,

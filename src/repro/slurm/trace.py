@@ -122,7 +122,7 @@ def replay_trace(controller: SlurmController, trace: List[TraceEntry],
 
     guard = engine.now + guard_s
     while True:
-        if not engine._queue:
+        if not engine.queue_depth:
             break
         if engine.peek() > guard:
             raise TimeoutError("trace replay guard expired")

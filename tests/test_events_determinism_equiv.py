@@ -1,0 +1,309 @@
+"""Determinism equivalence: tiered kernel vs heap kernels, byte-for-byte.
+
+The perf work replaced the seed kernel's single binary heap with three
+scheduling tiers (zero-delay FIFO lane, calendar-bucket wheel, active
+slot).  Speed means nothing here unless the *order* of event processing
+is exactly what the heap produced — every figure of the reproduction is
+downstream of that order.  This suite proves equivalence three ways:
+
+1. **Scripted workloads** — the same workload script runs on the live
+   :class:`~repro.events.engine.Engine`, the frozen
+   :class:`~repro.events._seed.SeedEngine` and the
+   :class:`~repro.events._seed.HeapReferenceEngine` (live event classes,
+   heap scheduler), and the recorded ``(time, label)`` logs must match
+   exactly — no tolerance, no sorting.
+2. **Full stack** — a complete cluster run (boot, ExaMon deployment,
+   an HPL job) driven by the tiered engine and by the heap reference
+   engine must leave *byte-identical* time-series databases behind
+   (``json.dumps`` string equality), plus byte-identical analytic
+   artifacts (Fig. 3 / Fig. 4 / Table VI) across repeated evaluation.
+3. **Timer-wheel edge cases** — interrupt delivery through wheel
+   buckets, double interrupts, moot interrupts, sub-resolution bucket
+   splits and FIFO preemption of an active slot behave identically on
+   all kernels and leave the failure ledger clean.
+"""
+
+import json
+
+import pytest
+
+from repro.events._seed import HeapReferenceEngine, SeedEngine
+from repro.events.engine import Engine
+from repro.events.process import Interrupt
+
+ENGINES = [Engine, SeedEngine, HeapReferenceEngine]
+LIVE_ENGINES = [Engine, HeapReferenceEngine]
+
+
+def logs_for(script, engines=ENGINES):
+    """Run ``script(engine)`` on each engine class; return the logs."""
+    return [script(engine_cls()) for engine_cls in engines]
+
+
+def assert_all_equal(logs):
+    first = logs[0]
+    for other in logs[1:]:
+        assert other == first
+
+
+# ---------------------------------------------------------------------------
+# 1. Scripted workloads
+# ---------------------------------------------------------------------------
+def periodic_script(engine):
+    """Shared-instant call_at chains + zero-delay events (wheel showcase)."""
+    log = []
+    remaining = [7] * 24
+
+    def make_tick(i):
+        def tick():
+            log.append((engine.now, "tick", i))
+            done = engine.event()
+            done.callbacks.append(
+                lambda e: log.append((engine.now, "zero", i, e._value)))
+            done.succeed(i * 10)
+            remaining[i] -= 1
+            if remaining[i]:
+                engine.call_at(engine.now + 0.25, tick)
+        return tick
+
+    for i in range(24):
+        engine.call_at(0.25, make_tick(i))
+    engine.run()
+    return log
+
+
+def chaos_script(engine):
+    """Scattered timestamps, any_of races, interrupts (heap stress)."""
+    log = []
+
+    def sidekick(env, i, period):
+        try:
+            while True:
+                yield env.timeout(period)
+                log.append((env.now, "side", i))
+        except Interrupt as intr:
+            log.append((env.now, "interrupted", i, str(intr)))
+
+    def worker(env, i):
+        period = 0.31 + (i % 7) * 0.17
+        mate = env.spawn(sidekick(env, i, period * 1.73), name=f"side-{i}")
+        for j in range(9):
+            yield env.timeout(period)
+            log.append((env.now, "work", i, j))
+            if (i + j) % 4 == 0:
+                flag = env.event()
+                flag.succeed(j)
+                fired = yield env.any_of([flag, env.timeout(period / 3.0)])
+                log.append((env.now, "race", i,
+                            sorted(repr(v) for v in fired.values())))
+            if (i + j) % 5 == 0 and mate.is_alive:
+                mate.interrupt(f"rotate-{j}")
+                mate = env.spawn(sidekick(env, i, period * 1.31),
+                                 name=f"side-{i}-{j}")
+        if mate.is_alive:
+            mate.interrupt("done")
+
+    for i in range(16):
+        engine.spawn(worker(engine, i), name=f"worker-{i}")
+    engine.run()
+    engine.check_failures()
+    return log
+
+
+def mixed_instant_script(engine):
+    """Zero-delay and delayed events interleaved at one shared instant.
+
+    Events landing at the same simulated time from different tiers must
+    still process in global sequence order — this is the FIFO-preempts-
+    slot merge case.
+    """
+    log = []
+
+    def driver(env):
+        # Two wheel buckets at t=1.0 and t=2.0, each multi-event.
+        for k in range(4):
+            env.call_at(1.0, lambda k=k: log.append((env.now, "a", k)))
+            env.call_at(2.0, lambda k=k: log.append((env.now, "b", k)))
+        yield env.timeout(1.0)
+        # Now inside the t=1.0 instant: zero-delay events racing the
+        # remainder of the active bucket.
+        for k in range(3):
+            done = env.event()
+            done.callbacks.append(
+                lambda e, k=k: log.append((env.now, "fifo", k)))
+            done.succeed(k)
+        yield env.timeout(0.0)
+        log.append((env.now, "after-zero"))
+        yield env.timeout(1.0)
+        log.append((env.now, "after-two"))
+
+    engine.spawn(driver(engine), name="driver")
+    engine.run()
+    return log
+
+
+def sub_resolution_script(engine):
+    """Distinct fire times one ulp-ish apart get distinct buckets."""
+    log = []
+    base = 1.0
+    for k, dt in enumerate((0.0, 1e-12, 2e-12, 1e-9)):
+        engine.call_at(base + dt, lambda k=k: log.append((engine.now, k)))
+    engine.call_at(base, lambda: log.append((engine.now, "tie")))
+    engine.run()
+    return log
+
+
+@pytest.mark.parametrize("script", [periodic_script, chaos_script,
+                                    mixed_instant_script,
+                                    sub_resolution_script])
+def test_scripted_workloads_identical_across_kernels(script):
+    assert_all_equal(logs_for(script))
+
+
+def test_tier_counters_match_heap_event_total():
+    """Both kernels consume identical sequence numbers per schedule call.
+
+    Identical counter consumption is the invariant the (time, seq) merge
+    proof rests on: if the tiered kernel ever burned an extra sequence
+    number, same-instant ordering could silently diverge from the heap.
+    """
+    live = Engine()
+    chaos_script(live)
+    reference = HeapReferenceEngine()
+    chaos_script(reference)
+    assert live.fifo_hits > 0 and live.wheel_hits > 0
+    assert next(live._counter) == next(reference._counter)
+
+
+# ---------------------------------------------------------------------------
+# 2. Full stack and analytic artifacts
+# ---------------------------------------------------------------------------
+def _full_stack_tsdb_dump(engine):
+    """Boot the cluster, deploy ExaMon, run a short HPL job; dump the TSDB."""
+    from repro.cluster.cluster import MonteCimoneCluster
+    from repro.examon.deployment import ExamonDeployment
+    from repro.power.model import HPL_PROFILE
+    from repro.slurm.api import SlurmAPI
+    from repro.thermal.enclosure import EnclosureConfig
+
+    cluster = MonteCimoneCluster(
+        engine=engine, enclosure_config=EnclosureConfig.mitigated())
+    cluster.boot_all()
+    deployment = ExamonDeployment(cluster)
+    deployment.start()
+    api = SlurmAPI(cluster.slurm)
+    api.srun("hpl", "equiv", nodes=8, duration_s=30.0, profile=HPL_PROFILE)
+    db = deployment.db
+    return json.dumps(
+        {topic: db.query(topic) for topic in db.topics()},
+        sort_keys=True)
+
+
+@pytest.mark.slow
+def test_full_stack_tsdb_byte_identical():
+    dumps = [_full_stack_tsdb_dump(engine_cls())
+             for engine_cls in LIVE_ENGINES]
+    assert dumps[0] == dumps[1]
+    assert len(dumps[0]) > 10_000  # a real run, not two empty databases
+
+
+def test_analytic_artifacts_byte_stable():
+    """Fig. 3 / Fig. 4 / Table VI serialize identically across calls."""
+    from repro.analysis.experiments import (fig3_power_traces,
+                                            fig4_boot_power, table6_power)
+
+    for artifact in (fig3_power_traces, fig4_boot_power, table6_power):
+        first = json.dumps(artifact(), sort_keys=True)
+        second = json.dumps(artifact(), sort_keys=True)
+        assert first == second and len(first) > 50
+
+
+# ---------------------------------------------------------------------------
+# 3. Timer-wheel edge cases
+# ---------------------------------------------------------------------------
+def interrupt_through_wheel_script(engine):
+    """Interrupt a process parked on a far-future wheel bucket."""
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(1000.0)
+            log.append((env.now, "overslept"))
+        except Interrupt as intr:
+            log.append((env.now, "woken", str(intr)))
+
+    def waker(env, proc):
+        yield env.timeout(2.5)
+        proc.interrupt("alarm")
+
+    proc = engine.spawn(sleeper(engine), name="sleeper")
+    engine.spawn(waker(engine, proc), name="waker")
+    engine.run()
+    engine.check_failures()
+    return log
+
+
+def double_interrupt_script(engine):
+    """Two same-instant interrupts deliver both, in order."""
+    log = []
+
+    def stubborn(env):
+        for _ in range(2):
+            try:
+                yield env.timeout(50.0)
+            except Interrupt as intr:
+                log.append((env.now, "caught", str(intr)))
+        log.append((env.now, "exhausted"))
+        yield env.timeout(0.0)
+
+    def aggressor(env, proc):
+        yield env.timeout(1.0)
+        proc.interrupt("first")
+        proc.interrupt("second")
+
+    proc = engine.spawn(stubborn(engine), name="stubborn")
+    engine.spawn(aggressor(engine, proc), name="aggressor")
+    engine.run()
+    engine.check_failures()
+    return log
+
+
+def moot_interrupt_script(engine):
+    """Interrupting a process that finished this instant is a no-op."""
+    log = []
+
+    def quick(env):
+        yield env.timeout(1.0)
+        log.append((env.now, "done"))
+
+    def late(env, proc):
+        yield env.timeout(1.0)
+        if proc.is_alive:
+            proc.interrupt("too-late")
+        log.append((env.now, "late-done", proc.is_alive))
+
+    proc = engine.spawn(quick(engine), name="quick")
+    engine.spawn(late(engine, proc), name="late")
+    engine.run()
+    engine.check_failures()  # the moot interrupt must not ledger
+    return log
+
+
+@pytest.mark.parametrize("script", [interrupt_through_wheel_script,
+                                    double_interrupt_script,
+                                    moot_interrupt_script])
+def test_edge_cases_identical_across_kernels(script):
+    logs = logs_for(script)
+    assert_all_equal(logs)
+    assert logs[0], "edge-case script must actually log something"
+
+
+def test_chaos_fault_windows_drain_ledger_clean():
+    """After the bench chaos mix, no unconsumed failures remain queued."""
+    from repro.perf.bench import chaos_workload
+
+    for engine_cls in LIVE_ENGINES:
+        engine = engine_cls()
+        chaos_workload(engine, 24, 12)
+        engine.check_failures()
+        assert engine.queue_depth == 0

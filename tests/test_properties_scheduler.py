@@ -48,7 +48,7 @@ def test_no_node_ever_double_allocated(jobs):
     for i, (nodes, duration) in enumerate(jobs):
         controller.submit(f"j{i}", "u", nodes, duration_s=duration)
     partition = controller.partitions["compute"]
-    while controller.engine._queue:
+    while controller.engine.queue_depth:
         controller.engine.step()
         running = [job for job in controller.jobs.values()
                    if job.state is JobState.RUNNING]
